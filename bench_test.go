@@ -1,0 +1,212 @@
+// Package llmbw's top-level benchmark harness: one benchmark per table and
+// figure of the paper. Each benchmark regenerates the corresponding result
+// on the simulated cluster and reports the key quantity as a custom metric
+// so `go test -bench=.` reproduces the paper's evaluation end to end.
+//
+// Absolute wall-clock numbers measure the simulator, not the hardware; the
+// custom metrics (TFLOP/s, GB, GB/s) are the reproduced results. Run
+// `go run ./cmd/bwchar all` for the full side-by-side tables.
+package llmbw
+
+import (
+	"bytes"
+	"testing"
+
+	"llmbw/internal/collective"
+	"llmbw/internal/core"
+	"llmbw/internal/fabric"
+	"llmbw/internal/memory"
+	"llmbw/internal/model"
+	"llmbw/internal/sim"
+	"llmbw/internal/stress"
+	"llmbw/internal/topology"
+	"llmbw/internal/train"
+)
+
+// benchOpts keeps per-iteration simulation cost bounded.
+var benchOpts = core.Options{Iterations: 2, Warmup: 1, PatternSeconds: 10, StressSeconds: 5}
+
+// benchExperiment regenerates one experiment per benchmark iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := core.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := e.Run(&buf, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+func BenchmarkFig1ModelTrend(b *testing.B)        { benchExperiment(b, "fig1") }
+func BenchmarkFig2Topology(b *testing.B)          { benchExperiment(b, "fig2") }
+func BenchmarkFig3RoceLatency(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig4StressBandwidth(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5Timelines(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig6ModelSize(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig7Throughput(b *testing.B)        { benchExperiment(b, "fig7") }
+func BenchmarkFig8Tradeoff(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9NVLinkPattern(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10DualNodePatterns(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11Consolidation(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12OffloadPatterns(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13LargestModel(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig14NvmeConfigs(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkTable1Capability(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2Setup(b *testing.B)           { benchExperiment(b, "table2") }
+func BenchmarkTable3Bandwidths(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkTable5Sensitivity(b *testing.B)     { benchExperiment(b, "table5") }
+func BenchmarkTable6NvmePlacement(b *testing.B)   { benchExperiment(b, "table6") }
+
+// BenchmarkTable4BandwidthUtilization regenerates the paper's central table
+// and reports headline per-class averages of the ZeRO-3 dual-node row.
+func BenchmarkTable4BandwidthUtilization(b *testing.B) {
+	var res *train.Result
+	for i := 0; i < b.N; i++ {
+		cfg := train.Config{Strategy: train.ZeRO3, Nodes: 2, Iterations: 2, Warmup: 1}
+		cfg.Model = model.NewGPT(cfg.Profile().MaxLayers(model.DefaultBatchSize, 4))
+		var err error
+		res, err = train.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Stats[fabric.NVLink].Avg/1e9, "NVLink-GB/s")
+	b.ReportMetric(res.Stats[fabric.RoCE].Avg/1e9, "RoCE-GB/s")
+	b.ReportMetric(res.Stats[fabric.XGMI].Avg/1e9, "xGMI-GB/s")
+	// Full 17-row table:
+	benchExperiment(b, "table4")
+}
+
+// ---- headline-metric benchmarks: the numbers the abstract quotes ----
+
+func benchTrainMetric(b *testing.B, cfg train.Config) {
+	var res *train.Result
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Iterations = 2
+		c.Warmup = 1
+		if c.Model.Layers == 0 {
+			c.Model = model.NewGPT(c.Profile().MaxLayers(model.DefaultBatchSize, 4))
+		}
+		var err error
+		res, err = train.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.AttainedTFLOPs, "TFLOP/s")
+	b.ReportMetric(res.Config.Model.ParamsB(), "Bparams")
+	b.ReportMetric(res.IterTime.ToSeconds()*1000, "ms/iter")
+}
+
+func BenchmarkTrainDDPSingleNode(b *testing.B) {
+	benchTrainMetric(b, train.Config{Strategy: train.DDP, Nodes: 1})
+}
+
+func BenchmarkTrainMegatronDualNode(b *testing.B) {
+	benchTrainMetric(b, train.Config{Strategy: train.Megatron, Nodes: 2})
+}
+
+func BenchmarkTrainZeRO3DualNode(b *testing.B) {
+	benchTrainMetric(b, train.Config{Strategy: train.ZeRO3, Nodes: 2})
+}
+
+func BenchmarkTrainZeRO2CPUOffload(b *testing.B) {
+	benchTrainMetric(b, train.Config{Strategy: train.ZeRO2, Offload: memory.CPUOffload})
+}
+
+func BenchmarkTrainZeROInfinity2xNVMe(b *testing.B) {
+	benchTrainMetric(b, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer})
+}
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkSimEngineEvents measures raw event throughput of the
+// discrete-event core.
+func BenchmarkSimEngineEvents(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 10000 {
+				eng.Schedule(1, tick)
+			}
+		}
+		eng.Schedule(1, tick)
+		eng.Run()
+	}
+}
+
+// BenchmarkFabricFairShare measures the max-min fair-share recomputation
+// under churn: 64 flows over 8 shared links.
+func BenchmarkFabricFairShare(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		net := fabric.NewNetwork(eng)
+		links := make([]*fabric.Link, 8)
+		for j := range links {
+			links[j] = fabric.NewLink("l", fabric.NVLink, 0, 10e9, 0)
+		}
+		for j := 0; j < 64; j++ {
+			path := []*fabric.Link{links[j%8], links[(j+3)%8]}
+			net.StartFlow(&fabric.Flow{Path: path, Bytes: 1e8 * float64(1+j%5)}, nil)
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkCollectiveAllReduce measures an 8-rank dual-node ring all-reduce
+// of 1 GB through the fluid-flow fabric.
+func BenchmarkCollectiveAllReduce(b *testing.B) {
+	b.ReportAllocs()
+	var dur sim.Time
+	for i := 0; i < b.N; i++ {
+		c := topology.New(topology.DefaultConfig(2))
+		g := collective.NewGroup(c, collective.NodeMajorRanks(2, 4))
+		c.Eng.Go("driver", func(p *sim.Proc) {
+			g.Run(p, collective.AllReduce, 1e9)
+		})
+		dur = c.Eng.Run()
+	}
+	b.ReportMetric(dur.ToSeconds()*1000, "simulated-ms")
+}
+
+// BenchmarkStressGPURoCE measures the Fig 4 GPUDirect stress scenario.
+func BenchmarkStressGPURoCE(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res := stress.GPURoCEStress(false, 5*sim.Second)
+		frac = res.AttainedFraction(fabric.RoCE)
+	}
+	b.ReportMetric(frac*100, "%-of-theoretical")
+}
+
+// ---- ablation and what-if benchmarks (DESIGN.md's design-choice studies) ----
+
+func BenchmarkAblationXbarContention(b *testing.B)  { benchExperiment(b, "ext-xbar") }
+func BenchmarkAblationCheckpointing(b *testing.B)   { benchExperiment(b, "ext-ckpt") }
+func BenchmarkWhatIfRoCEBandwidth(b *testing.B)     { benchExperiment(b, "ext-roce") }
+func BenchmarkWhatIfNVMeScaling(b *testing.B)       { benchExperiment(b, "ext-nvme-scale") }
+func BenchmarkWhatIfBatchSize(b *testing.B)         { benchExperiment(b, "ext-batch") }
+func BenchmarkExtensionHybridParallel(b *testing.B) { benchExperiment(b, "ext-hybrid") }
+
+// BenchmarkTrainMegatronHybridDual reports the hybrid TP=4/PP=2 dual-node
+// headline, the extension's key configuration.
+func BenchmarkTrainMegatronHybridDual(b *testing.B) {
+	benchTrainMetric(b, train.Config{
+		Strategy: train.Megatron, Nodes: 2,
+		TensorParallel: 4, PipelineParallel: 2,
+	})
+}

@@ -1,0 +1,87 @@
+// Command bwchar regenerates the paper's tables and figures on the simulated
+// cluster. Run it with experiment ids (fig1..fig14, table1..table6), or
+// "all" for the complete evaluation.
+//
+// Usage:
+//
+//	bwchar -list
+//	bwchar fig7 table4
+//	bwchar -iterations 5 -pattern-seconds 60 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llmbw/internal/core"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	iterations := flag.Int("iterations", 3, "measured training iterations per run")
+	warmup := flag.Int("warmup", 1, "warm-up iterations before measurement")
+	patternSeconds := flag.Float64("pattern-seconds", 30, "simulated duration of utilization-pattern figures")
+	stressSeconds := flag.Float64("stress-seconds", 10, "simulated duration of bandwidth stress kernels")
+	artifacts := flag.String("artifacts", "", "directory for machine-readable artifacts (Chrome traces, CSV series)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("paper reproductions:")
+		for _, e := range core.Experiments() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("extensions and ablations:")
+		for _, e := range core.Extensions() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: bwchar [-list] [flags] <experiment-id>... | all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *artifacts != "" {
+		if err := os.MkdirAll(*artifacts, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bwchar:", err)
+			os.Exit(1)
+		}
+	}
+	opt := core.Options{
+		Iterations:     *iterations,
+		Warmup:         *warmup,
+		PatternSeconds: *patternSeconds,
+		StressSeconds:  *stressSeconds,
+		ArtifactsDir:   *artifacts,
+	}
+	if len(args) == 1 && (args[0] == "all" || args[0] == "all-ext") {
+		if err := core.RunAll(os.Stdout, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "bwchar:", err)
+			os.Exit(1)
+		}
+		if args[0] == "all-ext" {
+			for _, e := range core.Extensions() {
+				fmt.Printf("\n######## %s — %s ########\n", e.ID, e.Title)
+				if err := e.Run(os.Stdout, opt); err != nil {
+					fmt.Fprintln(os.Stderr, "bwchar:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		return
+	}
+	for _, id := range args {
+		e, err := core.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bwchar:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\n######## %s — %s ########\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "bwchar:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command sweep measures attained throughput across model sizes for one
+// training configuration — the tool behind the paper's Table V sensitivity
+// study.
+//
+// Usage:
+//
+//	sweep -strategy zero2 -offload cpu -nodes 1 -sizes 0.7,1.4,2.9,5.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"llmbw/internal/memory"
+	"llmbw/internal/model"
+	"llmbw/internal/report"
+	"llmbw/internal/train"
+)
+
+var strategies = map[string]train.Strategy{
+	"ddp": train.DDP, "megatron": train.Megatron,
+	"zero1": train.ZeRO1, "zero2": train.ZeRO2, "zero3": train.ZeRO3,
+}
+
+var offloads = map[string]memory.Offload{
+	"none": memory.NoOffload, "cpu": memory.CPUOffload,
+	"nvme-opt": memory.NVMeOptimizer, "nvme-opt+param": memory.NVMeOptimizerAndParams,
+}
+
+func main() {
+	strategy := flag.String("strategy", "zero2", "ddp | megatron | zero1 | zero2 | zero3")
+	offload := flag.String("offload", "none", "none | cpu | nvme-opt | nvme-opt+param")
+	nodes := flag.Int("nodes", 1, "compute nodes (1 or 2)")
+	sizesArg := flag.String("sizes", "0.7,1.4,2.9,4.4,5.2", "comma-separated model sizes in billions; 'max' appends the largest fit")
+	iterations := flag.Int("iterations", 3, "measured iterations per point")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON summaries instead of a table")
+	flag.Parse()
+
+	strat, ok := strategies[*strategy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	off, ok := offloads[*offload]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown offload %q\n", *offload)
+		os.Exit(2)
+	}
+	base := train.Config{Strategy: strat, Offload: off, Nodes: *nodes, Iterations: *iterations, Warmup: 1}
+	maxLayers := base.Profile().MaxLayers(model.DefaultBatchSize, 4)
+	if maxLayers == 0 {
+		fmt.Fprintln(os.Stderr, "sweep: configuration fits no model at all")
+		os.Exit(1)
+	}
+
+	var layerCounts []int
+	for _, tok := range strings.Split(*sizesArg, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if tok == "max" {
+			layerCounts = append(layerCounts, maxLayers)
+			continue
+		}
+		b, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: bad size %q: %v\n", tok, err)
+			os.Exit(2)
+		}
+		layerCounts = append(layerCounts, model.LayersForParams(int64(b*1e9)))
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Throughput vs model size — %s, offload=%s, nodes=%d", base.Name(), *offload, *nodes),
+		"layers", "size (B)", "iteration", "TFLOP/s")
+	var results []*train.Result
+	for _, l := range layerCounts {
+		if l > maxLayers {
+			t.Row(l, model.NewGPT(l).ParamsB(), "does not fit", "-")
+			continue
+		}
+		cfg := base
+		cfg.Model = model.NewGPT(l)
+		res, err := train.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+		t.Row(l, cfg.Model.ParamsB(), res.IterTime.String(), res.AttainedTFLOPs)
+	}
+	if *jsonOut {
+		if err := train.WriteSummariesJSON(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("maximum fit: %d layers (%.2fB params)\n", maxLayers, model.NewGPT(maxLayers).ParamsB())
+}

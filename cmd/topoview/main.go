@@ -1,0 +1,43 @@
+// Command topoview dumps the simulated cluster topology: every link with its
+// class and capacity, theoretical per-class aggregates, and example routes
+// with their I/O-die crossbar crossings.
+//
+// Usage:
+//
+//	topoview [-nodes 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llmbw/internal/core"
+	"llmbw/internal/fabric"
+	"llmbw/internal/topology"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 2, "number of compute nodes (1 or 2)")
+	flag.Parse()
+
+	if *nodes < 1 || *nodes > 2 {
+		fmt.Fprintln(os.Stderr, "topoview: -nodes must be 1 or 2")
+		os.Exit(2)
+	}
+	c := topology.New(topology.DefaultConfig(*nodes))
+	fmt.Printf("Simulated cluster: %d × Dell PowerEdge XE8545\n\n", *nodes)
+	fmt.Println("Links:")
+	for _, l := range c.Links() {
+		fmt.Printf("  %-22s %-9s %7.1f GB/s\n", l.Name, l.Class, l.Capacity()/1e9)
+	}
+	fmt.Println("\nPer-node theoretical aggregates:")
+	for _, class := range fabric.MeasuredClasses() {
+		fmt.Printf("  %-10s %7.1f GB/s\n", class, c.TheoreticalClassBW(class)/1e9)
+	}
+	fmt.Println()
+	if err := core.Fig2(os.Stdout, core.Options{}); err != nil {
+		fmt.Fprintln(os.Stderr, "topoview:", err)
+		os.Exit(1)
+	}
+}

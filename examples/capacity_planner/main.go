@@ -1,0 +1,89 @@
+// Capacity planner: "I need to train an N-billion-parameter GPT-2-like
+// model on one or two XE8545 nodes — which framework should I use, and what
+// throughput should I expect?" This example answers the question the paper's
+// evaluation enables: it walks every viable configuration in increasing
+// order of operational complexity and reports fit, throughput, and the
+// dominant interconnect.
+//
+// Usage:
+//
+//	go run ./examples/capacity_planner            # plan for 11.4 B params
+//	go run ./examples/capacity_planner -size 20   # plan for 20 B params
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/memory"
+	"llmbw/internal/model"
+	"llmbw/internal/report"
+	"llmbw/internal/train"
+)
+
+// candidate configurations in increasing operational complexity: plain data
+// parallelism first, NVMe offload last.
+func candidates() []train.Config {
+	return []train.Config{
+		{Strategy: train.DDP, Nodes: 1},
+		{Strategy: train.ZeRO2, Nodes: 1},
+		{Strategy: train.ZeRO3, Nodes: 1},
+		{Strategy: train.Megatron, Nodes: 1},
+		{Strategy: train.ZeRO3, Nodes: 2},
+		{Strategy: train.Megatron, Nodes: 2},
+		{Strategy: train.ZeRO2, Offload: memory.CPUOffload, Nodes: 1},
+		{Strategy: train.ZeRO3, Offload: memory.CPUOffload, Nodes: 1},
+		{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer, Nodes: 1},
+	}
+}
+
+// busiest returns the interconnect with the highest average utilization.
+func busiest(res *train.Result) string {
+	best, bestAvg := "idle", 0.0
+	for _, class := range fabric.MeasuredClasses() {
+		if avg := res.Stats[class].Avg; avg > bestAvg {
+			best, bestAvg = class.String(), avg
+		}
+	}
+	return fmt.Sprintf("%s (%.0f GB/s)", best, bestAvg/1e9)
+}
+
+func main() {
+	size := flag.Float64("size", 11.4, "target model size in billion parameters")
+	flag.Parse()
+
+	g := model.NewGPT(model.LayersForParams(int64(*size * 1e9)))
+	fmt.Printf("planning for %v\n\n", g)
+
+	t := report.NewTable("Capacity plan (candidates in increasing operational complexity)",
+		"configuration", "nodes", "fits", "TFLOP/s", "iteration", "busiest link")
+	var recommended string
+	var bestTput float64
+	for _, cfg := range candidates() {
+		maxB := model.NewGPT(cfg.Profile().MaxLayers(model.DefaultBatchSize, 4)).Params()
+		if g.Params() > maxB {
+			t.Row(cfg.Name(), cfg.Nodes, "no", "-", "-", "-")
+			continue
+		}
+		cfg.Model = g
+		cfg.Iterations = 2
+		cfg.Warmup = 1
+		res, err := train.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Row(cfg.Name(), cfg.Nodes, "yes", res.AttainedTFLOPs, res.IterTime.String(), busiest(res))
+		if recommended == "" || res.AttainedTFLOPs > bestTput {
+			recommended, bestTput = cfg.Name(), res.AttainedTFLOPs
+		}
+	}
+	t.Render(os.Stdout)
+	if recommended == "" {
+		fmt.Printf("\nno configuration fits %.1fB parameters on this cluster\n", *size)
+		return
+	}
+	fmt.Printf("\nrecommendation: %s at %.0f TFLOP/s\n", recommended, bestTput)
+}

@@ -1,0 +1,46 @@
+// Quickstart: simulate training a GPT-2-like model with DeepSpeed ZeRO-2 on
+// one XE8545 node (4× A100 40 GB) and print what the paper measures —
+// achieved model size, iteration time, attained TFLOP/s, memory usage and
+// per-interconnect bandwidth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/model"
+	"llmbw/internal/train"
+)
+
+func main() {
+	// Pick a strategy and let the library find the largest model that fits,
+	// exactly as the paper grows the layer count to the memory limit.
+	cfg := train.Config{
+		Strategy:   train.ZeRO2,
+		Nodes:      1,
+		Iterations: 5,
+		Warmup:     2,
+	}
+	cfg.Model = model.NewGPT(cfg.Profile().MaxLayers(model.DefaultBatchSize, 4))
+
+	res, err := train.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("configuration:   %s on %d node(s)\n", cfg.Name(), cfg.Nodes)
+	fmt.Printf("model:           %v\n", cfg.Model)
+	fmt.Printf("iteration time:  %v\n", res.IterTime)
+	fmt.Printf("throughput:      %.1f TFLOP/s across %d GPUs\n", res.AttainedTFLOPs, cfg.WorldSize())
+	fmt.Printf("memory:          %v\n", res.Memory)
+	fmt.Println("bandwidth (node-0 aggregates):")
+	for _, class := range fabric.MeasuredClasses() {
+		st := res.Stats[class]
+		if st.Avg == 0 && st.Peak == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s avg %6.1f  p90 %6.1f  peak %6.1f GB/s\n",
+			class, st.Avg/1e9, st.P90/1e9, st.Peak/1e9)
+	}
+}

@@ -1,0 +1,3 @@
+module llmbw
+
+go 1.22

@@ -1,0 +1,125 @@
+package collective
+
+import (
+	"testing"
+
+	"llmbw/internal/sim"
+	"llmbw/internal/topology"
+)
+
+func TestTreeEdgesSpanAllRanks(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		edges := treeEdges(n)
+		if len(edges) != n-1 {
+			t.Fatalf("n=%d: %d edges, want %d", n, len(edges), n-1)
+		}
+		reached := map[int]bool{0: true}
+		for _, e := range edges {
+			if !reached[e[0]] {
+				t.Errorf("n=%d: parent %d not yet reachable (edge order broken)", n, e[0])
+			}
+			reached[e[1]] = true
+		}
+		if len(reached) != n {
+			t.Errorf("n=%d: tree reaches %d ranks", n, len(reached))
+		}
+	}
+}
+
+func TestTreeStepsLogarithmic(t *testing.T) {
+	if TreeSteps(8) != 6 || TreeSteps(4) != 4 || TreeSteps(1) != 0 {
+		t.Errorf("steps: n=8 %d, n=4 %d, n=1 %d", TreeSteps(8), TreeSteps(4), TreeSteps(1))
+	}
+	// Ring latency for n=8 is 14 steps; tree is 6.
+	if TreeSteps(8) >= Steps(AllReduce, 8) {
+		t.Error("tree should need fewer latency steps than the ring")
+	}
+}
+
+func TestTreeBeatsRingOnTinyPayloads(t *testing.T) {
+	run := func(tree bool) sim.Time {
+		c := topology.New(topology.DefaultConfig(2))
+		g := NewGroup(c, NodeMajorRanks(2, 4))
+		var done sim.Time
+		fn := func() { done = c.Eng.Now() }
+		if tree {
+			g.StartTree(4096, fn)
+		} else {
+			g.Start(AllReduce, 4096, fn)
+		}
+		c.Eng.Run()
+		return done
+	}
+	treeT, ringT := run(true), run(false)
+	if treeT >= ringT {
+		t.Errorf("tree (%v) should beat ring (%v) at 4 kB", treeT, ringT)
+	}
+}
+
+func TestRingBeatsTreeOnLargePayloads(t *testing.T) {
+	run := func(tree bool) sim.Time {
+		c := topology.New(topology.DefaultConfig(1))
+		g := NewGroup(c, NodeMajorRanks(1, 4))
+		var done sim.Time
+		fn := func() { done = c.Eng.Now() }
+		if tree {
+			g.StartTree(2e9, fn)
+		} else {
+			g.Start(AllReduce, 2e9, fn)
+		}
+		c.Eng.Run()
+		return done
+	}
+	treeT, ringT := run(true), run(false)
+	if ringT >= treeT {
+		t.Errorf("ring (%v) should beat tree (%v) at 2 GB", ringT, treeT)
+	}
+}
+
+func TestStartAutoSelection(t *testing.T) {
+	// Small payload via StartAuto should match StartTree's completion time;
+	// large should match the ring.
+	timeOf := func(start func(g *Group, done func())) sim.Time {
+		c := topology.New(topology.DefaultConfig(2))
+		g := NewGroup(c, NodeMajorRanks(2, 4))
+		var at sim.Time
+		start(g, func() { at = c.Eng.Now() })
+		c.Eng.Run()
+		return at
+	}
+	small := timeOf(func(g *Group, done func()) { g.StartAuto(AllReduce, 1024, done) })
+	smallTree := timeOf(func(g *Group, done func()) { g.StartTree(1024, done) })
+	if small != smallTree {
+		t.Errorf("auto small = %v, tree = %v", small, smallTree)
+	}
+	big := timeOf(func(g *Group, done func()) { g.StartAuto(AllReduce, 1e9, done) })
+	bigRing := timeOf(func(g *Group, done func()) { g.Start(AllReduce, 1e9, done) })
+	if big != bigRing {
+		t.Errorf("auto big = %v, ring = %v", big, bigRing)
+	}
+}
+
+func TestRunTreeBlocksDriver(t *testing.T) {
+	c := topology.New(topology.DefaultConfig(1))
+	g := NewGroup(c, NodeMajorRanks(1, 4))
+	var at sim.Time
+	c.Eng.Go("d", func(p *sim.Proc) {
+		g.RunTree(p, 1e8)
+		at = p.Now()
+	})
+	c.Eng.Run()
+	if at == 0 {
+		t.Error("RunTree returned instantly")
+	}
+}
+
+func TestTreeSingleRankNoOp(t *testing.T) {
+	c := topology.New(topology.DefaultConfig(1))
+	g := NewGroup(c, []topology.GPU{{Node: 0, Index: 0}})
+	done := false
+	g.StartTree(1e9, func() { done = true })
+	c.Eng.Run()
+	if !done || c.Eng.Now() != 0 {
+		t.Error("single-rank tree should complete instantly")
+	}
+}

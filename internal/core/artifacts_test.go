@@ -1,0 +1,61 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestArtifactsWritten: with ArtifactsDir set, fig5 produces valid Chrome
+// trace JSON and fig9 produces CSV series.
+func TestArtifactsWritten(t *testing.T) {
+	dir := t.TempDir()
+	opt := fastOpts
+	opt.ArtifactsDir = dir
+
+	var buf bytes.Buffer
+	if err := Fig5(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	traces, _ := filepath.Glob(filepath.Join(dir, "fig5-*.trace.json"))
+	if len(traces) != 9 {
+		t.Fatalf("trace files = %d, want 9", len(traces))
+	}
+	raw, err := os.ReadFile(traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil || len(events) == 0 {
+		t.Fatalf("trace %s invalid: %v", traces[0], err)
+	}
+
+	if err := Fig9(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	csvs, _ := filepath.Glob(filepath.Join(dir, "fig9-*.csv"))
+	if len(csvs) != 5 {
+		t.Fatalf("csv files = %d, want 5", len(csvs))
+	}
+	body, err := os.ReadFile(csvs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(body), "time_s,NVLink") {
+		t.Errorf("csv header wrong: %.40s", body)
+	}
+}
+
+func TestArtifactPathSanitization(t *testing.T) {
+	opt := Options{ArtifactsDir: "/tmp/x"}
+	p := artifactPath(opt, "fig5-ZeRO-3 (2×NVMe opt).trace.json")
+	if strings.ContainsAny(filepath.Base(p), " ()×") {
+		t.Errorf("unsanitized artifact name: %s", p)
+	}
+	if artifactPath(Options{}, "x") != "" {
+		t.Error("artifacts disabled should yield empty path")
+	}
+}

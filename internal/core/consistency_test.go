@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"llmbw/internal/model"
+	"llmbw/internal/train"
+)
+
+// TestFig7Table5Consistency: the throughput Fig 7 reports at a strategy's
+// maximum size must equal the corresponding Table V sweep cell — the two
+// experiments share one simulation, so any divergence means hidden state.
+func TestFig7Table5Consistency(t *testing.T) {
+	cfg := train.Config{Strategy: train.ZeRO2, Nodes: 1}
+	g := MaxModel(cfg)
+	a, err := RunAt(cfg, g, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAt(train.Config{Strategy: train.ZeRO2, Nodes: 1}, g, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AttainedTFLOPs != b.AttainedTFLOPs {
+		t.Errorf("same config diverged across experiments: %v vs %v",
+			a.AttainedTFLOPs, b.AttainedTFLOPs)
+	}
+}
+
+// TestMaxModelMatchesMemoryPackage: core.MaxModel must agree with the
+// memory profile it delegates to.
+func TestMaxModelMatchesMemoryPackage(t *testing.T) {
+	cfg := train.Config{Strategy: train.ZeRO3, Nodes: 2}
+	g := MaxModel(cfg)
+	if got := cfg.Profile().MaxLayers(model.DefaultBatchSize, 4); got != g.Layers {
+		t.Errorf("MaxModel layers %d != profile MaxLayers %d", g.Layers, got)
+	}
+	// One layer more must not fit.
+	if cfg.Profile().Fits(model.NewGPT(g.Layers+1), model.DefaultBatchSize, 4) {
+		t.Error("MaxModel is not maximal")
+	}
+}

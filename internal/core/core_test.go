@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"llmbw/internal/memory"
+	"llmbw/internal/report"
+	"llmbw/internal/train"
+)
+
+// fastOpts keeps the integration tests quick.
+var fastOpts = Options{Iterations: 2, Warmup: 1, PatternSeconds: 8, StressSeconds: 3}
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, fastOpts); err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	return buf.String()
+}
+
+// TestEveryExperimentRuns is the end-to-end integration test: all twenty
+// tables and figures regenerate without error and produce non-trivial
+// output.
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			out := runExperiment(t, e.ID)
+			if len(out) < 100 {
+				t.Errorf("%s output suspiciously short:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 20 {
+		t.Errorf("registry has %d experiments, want 20 (14 figures + 6 tables)", len(exps))
+	}
+	seen := make(map[string]bool)
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if e, err := Get("table4"); err != nil || e.ID != "table4" {
+		t.Errorf("Get(table4) = %v, %v", e.ID, err)
+	}
+}
+
+func TestFig6OutputMatchesPaperShape(t *testing.T) {
+	out := runExperiment(t, "fig6")
+	for _, want := range []string{"PyTorch DDP", "Megatron-LM", "ZeRO-3", "dual node"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestFig5OutputHasTimelines(t *testing.T) {
+	out := runExperiment(t, "fig5")
+	for _, want := range []string{"GPU-0 timelines", "legend:", "NVMe opt", "GEMM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 output missing %q", want)
+		}
+	}
+}
+
+func TestTable4OutputHasAllSections(t *testing.T) {
+	out := runExperiment(t, "table4")
+	for _, want := range []string{"single node", "dual nodes", "consolidate", "largest model", "(paper)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table4 output missing %q", want)
+		}
+	}
+}
+
+// TestTable6OrderingMatchesPaper verifies the placement study preserves the
+// paper's win/lose structure across configurations A-G.
+func TestTable6OrderingMatchesPaper(t *testing.T) {
+	g := MaxModel(train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer})
+	var measured, paper []float64
+	// A strictly ordered subset: F and G are near parity in both the paper
+	// (64.61 vs 65.16) and our runs, so their relative order is noise.
+	for _, name := range []string{"A", "B", "D", "G"} {
+		p, err := nvmeByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer, Placement: &p}
+		res, err := RunAt(cfg, g, fastOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured = append(measured, res.AttainedTFLOPs)
+		paper = append(paper, report.Table6NvmePlacement[name].TFLOPs)
+	}
+	if !report.SameOrder(measured, paper) {
+		t.Errorf("placement ordering diverged: measured %v vs paper %v", measured, paper)
+	}
+}
+
+func TestMaxModelAndRunHelpers(t *testing.T) {
+	cfg := train.Config{Strategy: train.ZeRO2}
+	g := MaxModel(cfg)
+	if g.Layers == 0 {
+		t.Fatal("MaxModel returned empty model")
+	}
+	res, err := RunMax(cfg, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Model.Params() != g.Params() {
+		t.Error("RunMax did not use the max model")
+	}
+	res2, err := RunAt(cfg, g, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.AttainedTFLOPs <= 0 {
+		t.Error("RunAt produced no throughput")
+	}
+}
+
+func TestRunForDurationSizesIterations(t *testing.T) {
+	cfg := train.Config{Strategy: train.DDP}
+	res, err := RunForDuration(cfg, MaxModel(cfg), 5, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := (res.MeasureEnd - res.MeasureStart).ToSeconds()
+	if dur < 2.5 || dur > 20 {
+		t.Errorf("pattern run covered %.1fs, want ~5s", dur)
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is slow")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, fastOpts); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n######## "); n != 20 {
+		t.Errorf("RunAll printed %d section markers, want 20", n)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Iterations == 0 || o.Warmup == 0 || o.PatternSeconds == 0 || o.StressSeconds == 0 {
+		t.Errorf("defaults not filled: %+v", o)
+	}
+	set := Options{Iterations: 9, Warmup: 3, PatternSeconds: 1, StressSeconds: 2}
+	if got := set.withDefaults(); got != set {
+		t.Errorf("explicit options clobbered: %+v", got)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/memory"
+	"llmbw/internal/nvme"
+	"llmbw/internal/report"
+	"llmbw/internal/trace"
+	"llmbw/internal/train"
+)
+
+func traceLegend() string { return trace.Legend() }
+
+// consolidationConfigs are the Section V single-node configurations run at
+// the largest model dual-node Megatron-LM can handle.
+func consolidationConfigs() []struct {
+	label report.PaperConfig
+	cfg   train.Config
+} {
+	one := nvme.ConfigA()
+	two := nvme.ConfigB()
+	return []struct {
+		label report.PaperConfig
+		cfg   train.Config
+	}{
+		{report.CfgZeRO2CPU, train.Config{Strategy: train.ZeRO2, Offload: memory.CPUOffload}},
+		{report.CfgZeRO3CPU, train.Config{Strategy: train.ZeRO3, Offload: memory.CPUOffload}},
+		{report.CfgInfOpt1, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer, Placement: &one}},
+		{report.CfgInfAll1, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizerAndParams, Placement: &one}},
+		{report.CfgInfOpt2, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer, Placement: &two}},
+		{report.CfgInfAll2, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizerAndParams, Placement: &two}},
+	}
+}
+
+// Fig11 regenerates the consolidation experiment: throughput and memory
+// composition when one node with offload replaces dual-node Megatron-LM.
+func Fig11(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	megCfg := train.Config{Strategy: train.Megatron, Nodes: 2}
+	g := MaxModel(megCfg)
+	fmt.Fprintf(w, "model: %v — the largest dual-node Megatron-LM fit (paper: 11.4 B)\n", g)
+
+	t := report.NewTable("Fig 11: consolidation throughput and memory",
+		"configuration", "TFLOP/s", "paper", "GPU GB", "CPU GB", "NVMe GB", "total GB")
+	meg, err := RunAt(megCfg, g, opt)
+	if err != nil {
+		return err
+	}
+	// Dual-node Megatron memory spans both nodes.
+	t.Row("Megatron-LM (dual nodes)", meg.AttainedTFLOPs, report.Fig11Consolidation[report.CfgMegatron].TFLOPs,
+		2*meg.Memory.GPUTotal/1e9, 2*meg.Memory.CPUTotal/1e9, 0.0,
+		2*meg.Memory.Total()/1e9)
+	for _, c := range consolidationConfigs() {
+		res, err := RunAt(c.cfg, g, opt)
+		if err != nil {
+			return err
+		}
+		t.Row(string(c.label), res.AttainedTFLOPs, report.Fig11Consolidation[c.label].TFLOPs,
+			res.Memory.GPUTotal/1e9, res.Memory.CPUTotal/1e9, res.Memory.NVMe/1e9,
+			res.Memory.Total()/1e9)
+	}
+	t.Render(w)
+	return nil
+}
+
+// Fig12 regenerates the offload bandwidth-utilization patterns.
+func Fig12(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	g := MaxModel(train.Config{Strategy: train.Megatron, Nodes: 2})
+	classes := []fabric.Class{fabric.NVLink, fabric.PCIeGPU, fabric.PCIeNVME, fabric.XGMI, fabric.DRAM}
+	fmt.Fprintf(w, "Fig 12: offload utilization patterns over ~%.0fs, %v\n", opt.PatternSeconds, g)
+	for _, c := range consolidationConfigs() {
+		res, err := RunForDuration(c.cfg, g, opt.PatternSeconds, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s:\n", c.label)
+		for _, class := range classes {
+			s := res.Series[class]
+			st := s.Stats()
+			fmt.Fprintf(w, "  %-9s |%s| avg %.1f peak %.1f GB/s\n",
+				class, s.Sparkline(70), st.Avg/1e9, st.Peak/1e9)
+		}
+		if err := writeSeriesCSV(opt, "fig12-"+string(c.label)+".csv", res, classes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig13 regenerates the largest-single-node-model experiment.
+func Fig13(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	t := report.NewTable("Fig 13: largest single-node models with ZeRO-Offload / ZeRO-Infinity",
+		"configuration", "size (B)", "paper", "TFLOP/s", "paper", "GPU GB", "CPU GB", "NVMe GB")
+	rows := []struct {
+		label report.PaperConfig
+		cfg   train.Config
+	}{
+		{report.CfgZeRO1CPU, train.Config{Strategy: train.ZeRO1, Offload: memory.CPUOffload}},
+		{report.CfgZeRO2CPU, train.Config{Strategy: train.ZeRO2, Offload: memory.CPUOffload}},
+		{report.CfgInfOpt2, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer}},
+	}
+	for _, r := range rows {
+		res, err := RunMax(r.cfg, opt)
+		if err != nil {
+			return err
+		}
+		ref := report.Fig13Largest[r.label]
+		t.Row(string(r.label), res.Config.Model.ParamsB(), ref.SizeB,
+			res.AttainedTFLOPs, ref.TFLOPs,
+			res.Memory.GPUTotal/1e9, res.Memory.CPUTotal/1e9, res.Memory.NVMe/1e9)
+	}
+	t.Render(w)
+	megSingle := MaxModel(train.Config{Strategy: train.Megatron, Nodes: 1}).ParamsB()
+	infMax := MaxModel(train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer}).ParamsB()
+	fmt.Fprintf(w, "ZeRO-Infinity vs single-node Megatron-LM size: %.1fx (paper: ~6x)\n", infMax/megSingle)
+	return nil
+}
+
+// Fig14 prints the seven NVMe placement configurations.
+func Fig14(w io.Writer, opt Options) error {
+	t := report.NewTable("Fig 14: NVMe placement configurations",
+		"config", "drives (socket.slot)", "volumes", "rank->volume")
+	for _, p := range nvme.AllConfigs() {
+		drives := ""
+		for i, d := range p.Drives {
+			if i > 0 {
+				drives += " "
+			}
+			drives += fmt.Sprintf("%d.%d", d.Socket, d.Slot)
+		}
+		vols := ""
+		for i, v := range p.Volumes {
+			if i > 0 {
+				vols += " "
+			}
+			if len(v) > 1 {
+				vols += fmt.Sprintf("RAID0%v", v)
+			} else {
+				vols += fmt.Sprintf("%v", v)
+			}
+		}
+		t.Row(p.Name, drives, vols, fmt.Sprint(p.RankVol))
+	}
+	t.Render(w)
+	return nil
+}
+
+// Table6 regenerates the placement study: throughput plus xGMI and
+// PCIe-NVMe statistics for configurations A through G at the largest
+// ZeRO-Infinity model.
+func Table6(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	g := MaxModel(train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer})
+	fmt.Fprintf(w, "model: %v (paper: 33.3 B)\n", g)
+	t := report.NewTable("Table VI: ZeRO-Infinity vs NVMe configurations",
+		"config", "TFLOP/s", "paper", "xGMI avg/p90/peak", "paper", "PCIe-NVMe avg/p90/peak", "paper")
+	for _, p := range nvme.AllConfigs() {
+		placement := p
+		cfg := train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer, Placement: &placement}
+		res, err := RunAt(cfg, g, opt)
+		if err != nil {
+			return err
+		}
+		x := res.Stats[fabric.XGMI]
+		n := res.Stats[fabric.PCIeNVME]
+		ref := report.Table6NvmePlacement[p.Name]
+		t.Row(p.Name, res.AttainedTFLOPs, ref.TFLOPs,
+			report.Triple(x.Avg/1e9, x.P90/1e9, x.Peak/1e9),
+			report.Triple(ref.XGMI[0], ref.XGMI[1], ref.XGMI[2]),
+			report.Triple(n.Avg/1e9, n.P90/1e9, n.Peak/1e9),
+			report.Triple(ref.PCIeNVMe[0], ref.PCIeNVMe[1], ref.PCIeNVMe[2]))
+	}
+	t.Render(w)
+	return nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/report"
+	"llmbw/internal/sim"
+	"llmbw/internal/stress"
+	"llmbw/internal/topology"
+)
+
+// Fig1 prints the introduction's trend: LLM parameter counts exploding while
+// GPU memory creeps — a factor of 1000x for models against 5x for GPUs
+// between 2018 and 2020.
+func Fig1(w io.Writer, opt Options) error {
+	models := report.NewTable("Fig 1-a: Large language model size", "year", "model", "params (B)")
+	gpus := report.NewTable("Fig 1-b: GPU memory capacity", "year", "GPU", "memory (GB)")
+	var firstModel, lastModel2020 float64
+	for _, p := range report.Fig1Trend {
+		if p.IsGPU {
+			gpus.Row(p.Year, p.Name, p.Value)
+			continue
+		}
+		models.Row(p.Year, p.Name, p.Value)
+		if p.Year == 2018 && firstModel == 0 {
+			firstModel = p.Value
+		}
+		if p.Year == 2020 {
+			lastModel2020 = p.Value
+		}
+	}
+	models.Render(w)
+	gpus.Render(w)
+	fmt.Fprintf(w, "model growth 2018-2020: %.0fx (paper: ~1000x); GPU memory growth 2017-2020: 5x\n",
+		lastModel2020/firstModel)
+	return nil
+}
+
+// Fig2 prints the simulated cluster's wiring: every link class with its
+// per-link capacity and count, plus example routes with their crossbar
+// crossings — the machine-readable form of the paper's topology figure.
+func Fig2(w io.Writer, opt Options) error {
+	c := topology.New(topology.DefaultConfig(2))
+	t := report.NewTable("Fig 2: simulated XE8545 dual-node cluster",
+		"interconnect", "links/node", "per-link GB/s", "aggregate GB/s")
+	type row struct {
+		class fabric.Class
+		per   float64
+	}
+	for _, r := range []row{
+		{fabric.DRAM, topology.DRAMChannelBW / 1e9},
+		{fabric.XGMI, topology.XGMILinkBW / 1e9},
+		{fabric.PCIeGPU, topology.PCIeGPULinkBW / 1e9},
+		{fabric.NVLink, topology.NVLinkBW / 1e9},
+		{fabric.PCIeNIC, topology.PCIeNICLinkBW / 1e9},
+		{fabric.PCIeNVME, topology.PCIeNVMELinkBW / 1e9},
+		{fabric.RoCE, topology.RoCELinkBW / 1e9},
+	} {
+		agg := c.TheoreticalClassBW(r.class) / 1e9
+		t.Row(r.class.String(), fmt.Sprintf("%.0f", agg/r.per), r.per, agg)
+	}
+	t.Render(w)
+
+	routes := report.NewTable("Example routes (crossbar crossings per paper Sec III-C4)",
+		"route", "links", "crossbars", "latency")
+	show := func(name string, r topology.Route) {
+		xbars := 0
+		for _, l := range r.Links {
+			if l.Class == fabric.IODXbar {
+				xbars++
+			}
+		}
+		routes.Row(name, len(r.Links), xbars, r.Latency.String())
+	}
+	show("GPU0 -> NIC0 (same socket)", c.GPUToNIC(topology.GPU{Node: 0, Index: 0}, topology.NIC{Node: 0, Socket: 0}))
+	show("GPU0 -> NIC1 (cross socket)", c.GPUToNIC(topology.GPU{Node: 0, Index: 0}, topology.NIC{Node: 0, Socket: 1}))
+	show("CPU0 -> NIC0 (same socket)", c.CPUToNIC(0, 0, topology.NIC{Node: 0, Socket: 0}))
+	show("CPU0 -> NIC1 (cross socket)", c.CPUToNIC(0, 0, topology.NIC{Node: 0, Socket: 1}))
+	show("GPU0 -> remote GPU0", c.GPUToRemoteGPU(topology.GPU{Node: 0, Index: 0}, topology.GPU{Node: 1, Index: 0}))
+	routes.Render(w)
+	return nil
+}
+
+// Fig3 regenerates the RoCE latency sweep.
+func Fig3(w io.Writer, opt Options) error {
+	pts := stress.LatencySweep(stress.DefaultMessageSizes())
+	t := report.NewTable("Fig 3: RoCE latency vs message size",
+		"verb", "socket", "msg bytes", "latency")
+	for _, p := range pts {
+		sock := "same"
+		if p.CrossSocket {
+			sock = "cross"
+		}
+		t.Row(p.Verb.String(), sock, fmt.Sprintf("%.0f", p.MsgBytes), p.Latency.String())
+	}
+	t.Render(w)
+	c := topology.New(topology.DefaultConfig(2))
+	same := stress.Latency(c, stress.Send, false, 64<<10)
+	cross := stress.Latency(c, stress.Send, true, 64<<10)
+	fmt.Fprintf(w, "small-message SEND: same-socket %v (paper <%g µs), cross-socket %v (paper <%g µs, ~7x)\n",
+		same, report.Fig3Latency.SameSocketMaxUs, cross, report.Fig3Latency.CrossSocketMaxUs)
+	return nil
+}
+
+// Fig4 regenerates the four bandwidth stress scenarios.
+func Fig4(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	dur := sim.Seconds(opt.StressSeconds)
+	results := []stress.BandwidthResult{
+		stress.CPURoCEStress(false, dur),
+		stress.CPURoCEStress(true, dur),
+		stress.GPURoCEStress(false, dur),
+		stress.GPURoCEStress(true, dur),
+	}
+	t := report.NewTable("Fig 4: bandwidth stress (node-0 aggregates, GB/s)",
+		"scenario", "RoCE avg", "RoCE peak", "RoCE theo", "attained", "paper",
+		"xGMI avg", "DRAM avg", "PCIe-NIC avg")
+	for _, r := range results {
+		roce := r.Stats[fabric.RoCE]
+		t.Row(r.Scenario,
+			roce.Avg/1e9, roce.Peak/1e9, r.Theoretical[fabric.RoCE]/1e9,
+			fmt.Sprintf("%.0f%%", r.AttainedFraction(fabric.RoCE)*100),
+			fmt.Sprintf("%.0f%%", report.Fig4Stress[r.Scenario]*100),
+			r.Stats[fabric.XGMI].Avg/1e9,
+			r.Stats[fabric.DRAM].Avg/1e9,
+			r.Stats[fabric.PCIeNIC].Avg/1e9)
+	}
+	t.Render(w)
+	return nil
+}
+
+// Table1 prints the ZeRO stage and offload capability matrix.
+func Table1(w io.Writer, opt Options) error {
+	t := report.NewTable("Table I: DeepSpeed ZeRO stage and offload capability",
+		"stage", "optimizer part.", "gradient part.", "parameter part.",
+		"opt->CPU", "opt->NVMe", "param->CPU", "param->NVMe")
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	t.Row("0", "DeepSpeed disabled", "", "", "", "", "", "")
+	t.Row("1", mark(true), mark(false), mark(false), mark(true), mark(false), mark(false), mark(false))
+	t.Row("2", mark(true), mark(true), mark(false), mark(true), mark(false), mark(false), mark(false))
+	t.Row("3", mark(true), mark(true), mark(true), mark(true), mark(true), mark(true), mark(true))
+	t.Render(w)
+	return nil
+}
+
+// Table2 prints the modelled hardware and software setup.
+func Table2(w io.Writer, opt Options) error {
+	t := report.NewTable("Table II: hardware and software setup (simulated)", "component", "configuration")
+	t.Row("Platform", "Dell PowerEdge XE8545 (2 nodes, SN3700 200GbE switch)")
+	t.Row("CPU", "2x AMD EPYC 7763 per node (modelled: 8 DRAM ch/socket, 3 xGMI, IOD crossbar)")
+	t.Row("Memory", "16x 64 GB DDR4-3200 per node (1024 GB)")
+	t.Row("GPU", "4x NVIDIA A100 SXM4 40 GB per node, NVLink 3.0 all-to-all (4 links/pair)")
+	t.Row("NVMe", "Intel D7-P5600 3.2 TB, PCIe 4.0 x4 (2 scratch/node; up to 4 in Fig 14)")
+	t.Row("NIC", "2x ConnectX-6 200 Gb/s per node, RoCE")
+	t.Row("Framework", "simulated PyTorch DDP / Megatron-LM / DeepSpeed ZeRO (0.7.1-era behaviour)")
+	t.Render(w)
+	return nil
+}
+
+// Table3 prints the interconnect bandwidth/measurement summary.
+func Table3(w io.Writer, opt Options) error {
+	c := topology.New(topology.DefaultConfig(1))
+	t := report.NewTable("Table III: interconnect bandwidth",
+		"interconnect", "links/node", "per-link GB/s (bidir)", "aggregate GB/s")
+	rows := []struct {
+		name  string
+		class fabric.Class
+		per   float64
+		links string
+	}{
+		{"CPU-DRAM", fabric.DRAM, topology.DRAMChannelBW, "8 x (2 CPUs)"},
+		{"CPU-CPU (xGMI)", fabric.XGMI, topology.XGMILinkBW, "3"},
+		{"CPU-GPU (PCIe)", fabric.PCIeGPU, topology.PCIeGPULinkBW, "1 x (4 GPUs)"},
+		{"GPU-GPU (NVLink)", fabric.NVLink, topology.NVLinkBW, "12 x (4 GPUs)"},
+		{"CPU-NIC (PCIe)", fabric.PCIeNIC, topology.PCIeNICLinkBW, "1 x (2 NICs)"},
+		{"CPU-NVMe (PCIe)", fabric.PCIeNVME, topology.PCIeNVMELinkBW, "1 x (8 slots)"},
+		{"Internode (RoCE)", fabric.RoCE, topology.RoCELinkBW, "1 x (2 NICs)"},
+	}
+	for _, r := range rows {
+		t.Row(r.name, r.links, r.per/1e9, c.TheoreticalClassBW(r.class)/1e9)
+	}
+	t.Render(w)
+	return nil
+}

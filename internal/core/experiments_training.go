@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/memory"
+	"llmbw/internal/model"
+	"llmbw/internal/report"
+	"llmbw/internal/telemetry"
+	"llmbw/internal/train"
+)
+
+// artifactPath builds a sanitized artifact filename, or "" when artifacts
+// are disabled.
+func artifactPath(opt Options, name string) string {
+	if opt.ArtifactsDir == "" {
+		return ""
+	}
+	clean := strings.NewReplacer(" ", "_", "(", "", ")", "", "/", "-", "×", "x").Replace(name)
+	return filepath.Join(opt.ArtifactsDir, clean)
+}
+
+// writeSeriesCSV dumps a run's per-class bandwidth series.
+func writeSeriesCSV(opt Options, name string, res *train.Result, classes []fabric.Class) error {
+	path := artifactPath(opt, name)
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	labels := make([]string, len(classes))
+	series := make([]telemetry.Series, len(classes))
+	for i, cl := range classes {
+		labels[i] = cl.String()
+		series[i] = res.Series[cl]
+	}
+	return telemetry.WriteCSV(f, labels, series)
+}
+
+// evalConfigs are the five frameworks of Section IV in paper order.
+var evalConfigs = []struct {
+	label report.PaperConfig
+	strat train.Strategy
+}{
+	{report.CfgDDP, train.DDP},
+	{report.CfgMegatron, train.Megatron},
+	{report.CfgZeRO1, train.ZeRO1},
+	{report.CfgZeRO2, train.ZeRO2},
+	{report.CfgZeRO3, train.ZeRO3},
+}
+
+// fig5Configs are the nine timelines of Fig 5.
+func fig5Configs() []struct {
+	label report.PaperConfig
+	cfg   train.Config
+} {
+	return []struct {
+		label report.PaperConfig
+		cfg   train.Config
+	}{
+		{report.CfgDDP, train.Config{Strategy: train.DDP}},
+		{report.CfgMegatron, train.Config{Strategy: train.Megatron}},
+		{report.CfgZeRO1, train.Config{Strategy: train.ZeRO1}},
+		{report.CfgZeRO2, train.Config{Strategy: train.ZeRO2}},
+		{report.CfgZeRO3, train.Config{Strategy: train.ZeRO3}},
+		{report.CfgZeRO1CPU, train.Config{Strategy: train.ZeRO1, Offload: memory.CPUOffload}},
+		{report.CfgZeRO2CPU, train.Config{Strategy: train.ZeRO2, Offload: memory.CPUOffload}},
+		{report.CfgInfOpt2, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer}},
+		{report.CfgInfAll2, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizerAndParams}},
+	}
+}
+
+// Fig5 regenerates the single-iteration timelines for the paper's small
+// (~1.4 B) model across all nine configurations.
+func Fig5(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	small := MaxModel(train.Config{Strategy: train.DDP})
+	fmt.Fprintf(w, "model: %v (paper uses 1.4 B)\n", small)
+	t := report.NewTable("Fig 5: iteration time per configuration",
+		"configuration", "iteration", "paper (ms)", "GPU idle")
+	type lane struct {
+		label string
+		strip string
+	}
+	var lanes []lane
+	for _, c := range fig5Configs() {
+		cfg := c.cfg
+		cfg.Trace = true
+		cfg.Iterations = 2
+		cfg.Warmup = 1
+		cfg.Model = small
+		res, err := train.Run(cfg)
+		if err != nil {
+			return err
+		}
+		sum := res.Trace.Summarize(0)
+		idle := "-"
+		if sum.Total > 0 {
+			idle = fmt.Sprintf("%.0f%%", float64(sum.GPUIdle)/float64(sum.Total)*100)
+		}
+		t.Row(string(c.label), res.IterTime.String(), report.Fig5IterationMs[c.label], idle)
+		lanes = append(lanes, lane{string(c.label), res.Trace.Render(0, 100)})
+		if path := artifactPath(opt, "fig5-"+string(c.label)+".trace.json"); path != "" {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := res.Trace.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "\nGPU-0 timelines (one traced iteration each):")
+	for _, l := range lanes {
+		fmt.Fprintf(w, "%-28s |%s|\n", l.label, l.strip)
+	}
+	fmt.Fprintln(w, "legend:", traceLegend())
+	return nil
+}
+
+// Fig6 regenerates the achieved model sizes.
+func Fig6(w io.Writer, opt Options) error {
+	t := report.NewTable("Fig 6: achieved model size (billion parameters)",
+		"configuration", "single node", "paper", "dual node", "paper")
+	for _, c := range evalConfigs {
+		single := MaxModel(train.Config{Strategy: c.strat, Nodes: 1}).ParamsB()
+		dual := MaxModel(train.Config{Strategy: c.strat, Nodes: 2}).ParamsB()
+		ref := report.Fig6ModelSizeB[c.label]
+		t.Row(string(c.label), single, ref[0], dual, ref[1])
+	}
+	t.Render(w)
+	return nil
+}
+
+// Fig7 regenerates the attained compute throughput at maximum model sizes.
+func Fig7(w io.Writer, opt Options) error {
+	t := report.NewTable("Fig 7: compute throughput (TFLOP/s)",
+		"configuration", "single node", "paper", "dual node", "paper")
+	for _, c := range evalConfigs {
+		s, err := RunMax(train.Config{Strategy: c.strat, Nodes: 1}, opt)
+		if err != nil {
+			return err
+		}
+		d, err := RunMax(train.Config{Strategy: c.strat, Nodes: 2}, opt)
+		if err != nil {
+			return err
+		}
+		ref := report.Fig7ThroughputTFLOPs[c.label]
+		t.Row(string(c.label), s.AttainedTFLOPs, ref[0], d.AttainedTFLOPs, ref[1])
+	}
+	t.Render(w)
+	return nil
+}
+
+// Fig8 regenerates the throughput-versus-size trade-off scatter.
+func Fig8(w io.Writer, opt Options) error {
+	t := report.NewTable("Fig 8: trade-off of throughput vs achieved model size",
+		"nodes", "configuration", "size (B)", "TFLOP/s")
+	for _, nodes := range []int{1, 2} {
+		for _, c := range evalConfigs {
+			res, err := RunMax(train.Config{Strategy: c.strat, Nodes: nodes}, opt)
+			if err != nil {
+				return err
+			}
+			t.Row(nodes, string(c.label), res.Config.Model.ParamsB(), res.AttainedTFLOPs)
+		}
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "paper conclusion: ZeRO-2 is the single-node sweet spot; ZeRO-3 maximizes dual-node size at sustained throughput")
+	return nil
+}
+
+// Fig9 regenerates the single-node NVLink utilization pattern.
+func Fig9(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	fmt.Fprintf(w, "Fig 9: NVLink utilization pattern over ~%.0fs of single-node training (paper plots 200 s)\n", opt.PatternSeconds)
+	for _, c := range evalConfigs {
+		cfg := train.Config{Strategy: c.strat, Nodes: 1}
+		res, err := RunForDuration(cfg, MaxModel(cfg), opt.PatternSeconds, opt)
+		if err != nil {
+			return err
+		}
+		s := res.Series[fabric.NVLink]
+		st := s.Stats()
+		fmt.Fprintf(w, "%-14s |%s| avg %.1f p90 %.1f peak %.1f GB/s (paper %s)\n",
+			c.label, s.Sparkline(80), st.Avg/1e9, st.P90/1e9, st.Peak/1e9,
+			report.Triple(report.Table4SingleNode[c.label].NVLink[0],
+				report.Table4SingleNode[c.label].NVLink[1],
+				report.Table4SingleNode[c.label].NVLink[2]))
+		if err := writeSeriesCSV(opt, "fig9-"+string(c.label)+".csv", res,
+			[]fabric.Class{fabric.NVLink}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig10 regenerates the dual-node utilization patterns for NVLink,
+// PCIe-GPU, PCIe-NIC and RoCE.
+func Fig10(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	fmt.Fprintf(w, "Fig 10: dual-node utilization patterns over ~%.0fs (paper plots 200 s)\n", opt.PatternSeconds)
+	classes := []fabric.Class{fabric.NVLink, fabric.PCIeGPU, fabric.PCIeNIC, fabric.RoCE}
+	for _, c := range evalConfigs {
+		cfg := train.Config{Strategy: c.strat, Nodes: 2}
+		res, err := RunForDuration(cfg, MaxModel(cfg), opt.PatternSeconds, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s:\n", c.label)
+		for _, class := range classes {
+			s := res.Series[class]
+			st := s.Stats()
+			fmt.Fprintf(w, "  %-9s |%s| avg %.1f peak %.1f GB/s\n",
+				class, s.Sparkline(70), st.Avg/1e9, st.Peak/1e9)
+		}
+		if err := writeSeriesCSV(opt, "fig10-"+string(c.label)+".csv", res, classes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table4 regenerates the full bandwidth-utilization table.
+func Table4(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	t := report.NewTable("Table IV: aggregate bidirectional per-node bandwidth utilization, GB/s (avg/90th/peak)",
+		"configuration", "DRAM", "xGMI", "PCIe-GPU", "PCIe-NVME", "PCIe-NIC", "NVLink", "RoCE")
+	addRow := func(label string, res *train.Result) {
+		cells := []any{label}
+		for _, class := range fabric.MeasuredClasses() {
+			st := res.Stats[class]
+			cells = append(cells, report.Triple(st.Avg/1e9, st.P90/1e9, st.Peak/1e9))
+		}
+		t.Row(cells...)
+	}
+	paperRow := func(label string, r report.BandwidthRow) {
+		t.Row("  (paper)",
+			report.Triple(r.DRAM[0], r.DRAM[1], r.DRAM[2]),
+			report.Triple(r.XGMI[0], r.XGMI[1], r.XGMI[2]),
+			report.Triple(r.PCIeGPU[0], r.PCIeGPU[1], r.PCIeGPU[2]),
+			report.Triple(r.PCIeNVME[0], r.PCIeNVME[1], r.PCIeNVME[2]),
+			report.Triple(r.PCIeNIC[0], r.PCIeNIC[1], r.PCIeNIC[2]),
+			report.Triple(r.NVLink[0], r.NVLink[1], r.NVLink[2]),
+			report.Triple(r.RoCE[0], r.RoCE[1], r.RoCE[2]))
+	}
+
+	for _, nodes := range []int{1, 2} {
+		section := map[int]string{1: "-- single node --", 2: "-- dual nodes --"}[nodes]
+		t.Row(section)
+		for _, c := range evalConfigs {
+			res, err := RunMax(train.Config{Strategy: c.strat, Nodes: nodes}, opt)
+			if err != nil {
+				return err
+			}
+			addRow(string(c.label), res)
+			if nodes == 1 {
+				paperRow(string(c.label), report.Table4SingleNode[c.label])
+			} else {
+				paperRow(string(c.label), report.Table4DualNode[c.label])
+			}
+		}
+	}
+
+	t.Row("-- consolidate dual nodes into single node (11.4 B model) --")
+	megMax := MaxModel(train.Config{Strategy: train.Megatron, Nodes: 2})
+	offloads := []struct {
+		label report.PaperConfig
+		cfg   train.Config
+	}{
+		{report.CfgZeRO2CPU, train.Config{Strategy: train.ZeRO2, Offload: memory.CPUOffload}},
+		{report.CfgZeRO3CPU, train.Config{Strategy: train.ZeRO3, Offload: memory.CPUOffload}},
+		{report.CfgInfOpt2, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer}},
+		{report.CfgInfAll2, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizerAndParams}},
+	}
+	for _, c := range offloads {
+		res, err := RunAt(c.cfg, megMax, opt)
+		if err != nil {
+			return err
+		}
+		addRow(string(c.label), res)
+		paperRow(string(c.label), report.Table4Offload[c.label])
+	}
+
+	t.Row("-- largest model for single node with offload --")
+	largest := []struct {
+		label report.PaperConfig
+		cfg   train.Config
+	}{
+		{report.CfgZeRO1CPU, train.Config{Strategy: train.ZeRO1, Offload: memory.CPUOffload}},
+		{report.CfgZeRO2CPU, train.Config{Strategy: train.ZeRO2, Offload: memory.CPUOffload}},
+		{report.CfgInfOpt2, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer}},
+	}
+	for _, c := range largest {
+		res, err := RunMax(c.cfg, opt)
+		if err != nil {
+			return err
+		}
+		addRow(fmt.Sprintf("%s max (%.1fB)", c.label, res.Config.Model.ParamsB()), res)
+	}
+	t.Render(w)
+	return nil
+}
+
+// Table5 regenerates the throughput-sensitivity-to-model-size matrix.
+func Table5(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	sizes := []float64{0.7, 1.4, 2.9, 4.4, 5.2, 5.5, 6.0, 6.6, 7.8, 8.9, 11.6, 14.2, 20.6, 26.9, 33.3}
+	t := report.NewTable("Table V: sensitivity of throughput to model size (TFLOP/s; measured vs paper)",
+		"configuration", "size (B)", "measured", "paper")
+	rows := []struct {
+		label report.PaperConfig
+		cfg   train.Config
+	}{
+		{report.CfgDDP, train.Config{Strategy: train.DDP}},
+		{report.CfgMegatron, train.Config{Strategy: train.Megatron}},
+		{report.CfgZeRO1, train.Config{Strategy: train.ZeRO1}},
+		{report.CfgZeRO2, train.Config{Strategy: train.ZeRO2}},
+		{report.CfgZeRO3, train.Config{Strategy: train.ZeRO3}},
+		{report.CfgZeRO1CPU, train.Config{Strategy: train.ZeRO1, Offload: memory.CPUOffload}},
+		{report.CfgZeRO2CPU, train.Config{Strategy: train.ZeRO2, Offload: memory.CPUOffload}},
+		{report.CfgInfOpt2, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer}},
+	}
+	for _, r := range rows {
+		maxL := r.cfg.Profile().MaxLayers(model.DefaultBatchSize, 4)
+		for _, sz := range sizes {
+			g := model.NewGPT(model.LayersForParams(int64(sz * 1e9)))
+			if g.Layers > maxL {
+				continue
+			}
+			res, err := RunAt(r.cfg, g, opt)
+			if err != nil {
+				return err
+			}
+			paper := ""
+			if p, ok := report.Table5Sensitivity[r.label][sz]; ok {
+				paper = fmt.Sprintf("%.4g", p)
+			}
+			t.Row(string(r.label), sz, res.AttainedTFLOPs, paper)
+		}
+	}
+	t.Render(w)
+	return nil
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// TestGoldenOutputs pins the byte-exact output of the cheap, deterministic
+// experiments. Any behavioural drift in the memory model, topology constants
+// or latency model shows up here as a diff; regenerate intentionally with
+// `go test ./internal/core -run Golden -update-golden`.
+func TestGoldenOutputs(t *testing.T) {
+	for _, id := range []string{"fig2", "fig3", "fig6", "fig14", "table1", "table3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf, fastOpts); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+					id, buf.String(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+import "llmbw/internal/nvme"
+
+// nvmeByName resolves a Fig 14 placement by letter.
+func nvmeByName(name string) (nvme.Placement, error) {
+	return nvme.ConfigByName(name)
+}

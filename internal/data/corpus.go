@@ -1,0 +1,100 @@
+// Package data implements the training-data substrate: the paper trains on
+// a Wikipedia dump extracted with WikiExtractor and tokenized GPT-2-style.
+// The dataset's *content* never affects bandwidth or throughput — only the
+// token-batch shapes do — so this package provides a deterministic synthetic
+// Wikipedia-like corpus, a greedy subword tokenizer, and the sequence-packing
+// loader whose per-iteration host→GPU staging traffic the training runner
+// emits onto the simulated fabric.
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// capitalize upper-cases the first letter (strings.Title is deprecated).
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// rng is a small deterministic PRNG (xorshift64*) so corpus generation never
+// depends on global state and is reproducible across runs.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Vocabulary used to synthesize article-like text. Zipf-weighted sampling
+// over function words plus topical nouns gives token-frequency statistics
+// close enough to natural text for the tokenizer and packer to be exercised
+// realistically.
+var (
+	functionWords = []string{
+		"the", "of", "and", "in", "to", "a", "is", "was", "for", "on",
+		"as", "with", "by", "at", "from", "that", "it", "its", "an", "are",
+	}
+	topicWords = []string{
+		"bandwidth", "cluster", "memory", "model", "training", "language",
+		"network", "parallel", "gradient", "parameter", "optimizer", "node",
+		"socket", "interconnect", "throughput", "latency", "processor",
+		"history", "city", "river", "university", "science", "century",
+		"population", "government", "music", "battle", "island", "theory",
+	}
+)
+
+// Article is one synthetic document, analogous to a WikiExtractor record.
+type Article struct {
+	Title string
+	Text  string
+}
+
+// Corpus deterministically generates synthetic articles.
+type Corpus struct {
+	seed uint64
+}
+
+// NewCorpus returns a corpus generator for the given seed.
+func NewCorpus(seed uint64) *Corpus { return &Corpus{seed: seed} }
+
+// Article generates the i-th article (deterministic in (seed, i)).
+func (c *Corpus) Article(i int) Article {
+	r := newRNG(c.seed ^ (uint64(i)+1)*0x9E3779B97F4A7C15)
+	title := fmt.Sprintf("%s %s %d",
+		capitalize(topicWords[r.intn(len(topicWords))]),
+		topicWords[r.intn(len(topicWords))], i)
+	sentences := 8 + r.intn(24)
+	var b strings.Builder
+	for s := 0; s < sentences; s++ {
+		words := 6 + r.intn(18)
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			// Zipf-ish: function words dominate.
+			if r.intn(100) < 55 {
+				b.WriteString(functionWords[r.intn(len(functionWords))])
+			} else {
+				b.WriteString(topicWords[r.intn(len(topicWords))])
+			}
+		}
+		b.WriteString(". ")
+	}
+	return Article{Title: title, Text: b.String()}
+}

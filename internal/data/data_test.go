@@ -1,0 +1,159 @@
+package data
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := NewCorpus(7).Article(42)
+	b := NewCorpus(7).Article(42)
+	if a != b {
+		t.Error("same seed+index produced different articles")
+	}
+	c := NewCorpus(8).Article(42)
+	if a.Text == c.Text {
+		t.Error("different seeds produced identical articles")
+	}
+	d := NewCorpus(7).Article(43)
+	if a.Text == d.Text {
+		t.Error("adjacent articles identical")
+	}
+}
+
+func TestCorpusLooksLikeText(t *testing.T) {
+	a := NewCorpus(1).Article(0)
+	if a.Title == "" || len(a.Text) < 100 {
+		t.Fatalf("degenerate article: %+v", a)
+	}
+	if !strings.Contains(a.Text, ". ") {
+		t.Error("article has no sentence boundaries")
+	}
+	words := strings.Fields(a.Text)
+	if len(words) < 40 {
+		t.Errorf("article too short: %d words", len(words))
+	}
+}
+
+func TestTokenizerRoundTrip(t *testing.T) {
+	sample := NewCorpus(1).Article(0).Text
+	tok := Train(sample, 1000)
+	for _, text := range []string{
+		"the bandwidth of the cluster",
+		"unseen-w0rds with! punctuation?",
+		sample[:200],
+	} {
+		ids := tok.Encode(text)
+		if got := tok.Decode(ids); got != text {
+			t.Errorf("round trip failed:\n in: %q\nout: %q", text, got)
+		}
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary ASCII strings losslessly.
+func TestTokenizerRoundTripProperty(t *testing.T) {
+	tok := Train(NewCorpus(2).Article(0).Text, 800)
+	f := func(raw []byte) bool {
+		// Constrain to single-byte runes so string(rune(b)) fallback holds.
+		buf := make([]byte, len(raw))
+		for i, b := range raw {
+			buf[i] = b % 128
+		}
+		text := string(buf)
+		return tok.Decode(tok.Encode(text)) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizerCompresses(t *testing.T) {
+	sample := ""
+	c := NewCorpus(3)
+	for i := 0; i < 32; i++ {
+		sample += c.Article(i).Text
+	}
+	tok := Train(sample, 4000)
+	ids := tok.Encode(sample)
+	ratio := float64(len(ids)) / float64(len(sample))
+	// Learned merges must beat byte-level (1.0) substantially on in-domain
+	// text; GPT-2 achieves ~0.25 on English.
+	if ratio > 0.6 {
+		t.Errorf("tokens/byte = %.2f, want < 0.6 (compression failed)", ratio)
+	}
+	if tok.VocabSize() < 300 {
+		t.Errorf("vocab = %d", tok.VocabSize())
+	}
+}
+
+func TestEncodeDocumentAppendsEOT(t *testing.T) {
+	tok := Train("hello world", 300)
+	ids := tok.EncodeDocument(Article{Title: "t", Text: "hello"})
+	if len(ids) == 0 {
+		t.Fatal("empty encoding")
+	}
+	if got := tok.Decode(ids[len(ids)-1:]); got != EOT {
+		t.Errorf("last token = %q, want EOT", got)
+	}
+}
+
+func TestLoaderPacksExactSequences(t *testing.T) {
+	l := NewLoader(1, 256, 2000)
+	for i := 0; i < 10; i++ {
+		seq := l.NextSequence()
+		if len(seq) != 256 {
+			t.Fatalf("sequence %d length = %d", i, len(seq))
+		}
+		for _, id := range seq {
+			if id < 0 || id >= l.Tokenizer().VocabSize() {
+				t.Fatalf("token id %d out of range", id)
+			}
+		}
+	}
+}
+
+func TestLoaderBatch(t *testing.T) {
+	l := NewLoader(1, 64, 1000)
+	b := l.NextBatch(16)
+	if len(b) != 16 {
+		t.Fatalf("batch = %d", len(b))
+	}
+	// Sequences must differ (the stream advances).
+	same := true
+	for i := range b[0] {
+		if b[0][i] != b[1][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("consecutive sequences identical")
+	}
+}
+
+func TestLoaderDeterministic(t *testing.T) {
+	a := NewLoader(9, 128, 1500)
+	b := NewLoader(9, 128, 1500)
+	sa, sb := a.NextSequence(), b.NextSequence()
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("loader nondeterministic")
+		}
+	}
+}
+
+func TestBatchStagingBytes(t *testing.T) {
+	// 16 sequences × 256 tokens × 4 bytes × 2 (inputs + labels) = 32 KiB×2.
+	if got := BatchStagingBytes(16, 256); got != 2*16*256*4 {
+		t.Errorf("staging bytes = %v", got)
+	}
+}
+
+func TestTokensPerByteReasonable(t *testing.T) {
+	l := NewLoader(4, 256, 4000)
+	r := l.TokensPerByte(16)
+	if r <= 0.05 || r >= 0.9 {
+		t.Errorf("tokens/byte = %.3f, outside plausible subword range", r)
+	}
+}

@@ -1,0 +1,23 @@
+package data_test
+
+import (
+	"fmt"
+
+	"llmbw/internal/data"
+)
+
+// Tokenize text with a tokenizer trained on the synthetic corpus.
+func Example() {
+	loader := data.NewLoader(42, 256, 2000)
+	tok := loader.Tokenizer()
+	text := "the bandwidth of the cluster"
+	ids := tok.Encode(text)
+	fmt.Printf("round trip ok: %v\n", tok.Decode(ids) == text)
+	seq := loader.NextSequence()
+	fmt.Printf("packed sequence length: %d\n", len(seq))
+	fmt.Printf("staging bytes per 16x256 batch: %.0f\n", data.BatchStagingBytes(16, 256))
+	// Output:
+	// round trip ok: true
+	// packed sequence length: 256
+	// staging bytes per 16x256 batch: 32768
+}

@@ -1,0 +1,134 @@
+package data
+
+import (
+	"sort"
+	"strings"
+)
+
+// Tokenizer is a greedy longest-match subword tokenizer in the spirit of
+// GPT-2's byte-pair encoding: a learned vocabulary of frequent substrings
+// plus single-byte fallbacks, so any input tokenizes losslessly. It exists
+// to give the data pipeline realistic tokens-per-byte statistics, not to
+// match GPT-2's exact merges.
+type Tokenizer struct {
+	vocab   []string       // id -> piece; ids 0..255 are single bytes
+	pieces  map[string]int // piece -> id
+	maxLen  int
+	special map[string]int
+}
+
+// EOT is the end-of-text special token appended between documents.
+const EOT = "<|endoftext|>"
+
+// Train learns a vocabulary of the most frequent substrings (lengths 2..7)
+// over the sample text, up to vocabSize entries including the 256 byte
+// tokens and specials.
+func Train(sample string, vocabSize int) *Tokenizer {
+	if vocabSize < 300 {
+		vocabSize = 300
+	}
+	t := &Tokenizer{pieces: make(map[string]int), special: make(map[string]int)}
+	for b := 0; b < 256; b++ {
+		piece := string(rune(b))
+		t.pieces[piece] = len(t.vocab)
+		t.vocab = append(t.vocab, piece)
+	}
+	t.special[EOT] = len(t.vocab)
+	t.vocab = append(t.vocab, EOT)
+
+	// Count substrings of the sample at word granularity to keep training
+	// cheap and deterministic.
+	counts := make(map[string]int)
+	for _, word := range strings.Fields(sample) {
+		for l := 2; l <= 7 && l <= len(word); l++ {
+			for i := 0; i+l <= len(word); i++ {
+				counts[word[i:i+l]]++
+			}
+		}
+		counts[" "+word]++ // leading-space merge, GPT-2 style
+	}
+	type cand struct {
+		piece string
+		count int
+	}
+	cands := make([]cand, 0, len(counts))
+	for p, c := range counts {
+		if c >= 2 {
+			cands = append(cands, cand{p, c})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		// Prefer frequency × length (longer merges save more tokens),
+		// then lexical order for determinism.
+		si := cands[i].count * len(cands[i].piece)
+		sj := cands[j].count * len(cands[j].piece)
+		if si != sj {
+			return si > sj
+		}
+		return cands[i].piece < cands[j].piece
+	})
+	for _, c := range cands {
+		if len(t.vocab) >= vocabSize {
+			break
+		}
+		if _, dup := t.pieces[c.piece]; dup {
+			continue
+		}
+		t.pieces[c.piece] = len(t.vocab)
+		t.vocab = append(t.vocab, c.piece)
+		if len(c.piece) > t.maxLen {
+			t.maxLen = len(c.piece)
+		}
+	}
+	if t.maxLen < 1 {
+		t.maxLen = 1
+	}
+	return t
+}
+
+// VocabSize returns the number of token ids.
+func (t *Tokenizer) VocabSize() int { return len(t.vocab) }
+
+// Encode tokenizes text by greedy longest match.
+func (t *Tokenizer) Encode(text string) []int {
+	var out []int
+	i := 0
+	for i < len(text) {
+		best := -1
+		bestLen := 0
+		max := t.maxLen
+		if max > len(text)-i {
+			max = len(text) - i
+		}
+		for l := max; l >= 1; l-- {
+			if id, ok := t.pieces[text[i:i+l]]; ok {
+				best, bestLen = id, l
+				break
+			}
+		}
+		if best < 0 {
+			// Unknown byte: fall back to its single-byte token.
+			best, bestLen = int(text[i]), 1
+		}
+		out = append(out, best)
+		i += bestLen
+	}
+	return out
+}
+
+// EncodeDocument tokenizes an article and appends the end-of-text token.
+func (t *Tokenizer) EncodeDocument(a Article) []int {
+	ids := t.Encode(a.Title + "\n" + a.Text)
+	return append(ids, t.special[EOT])
+}
+
+// Decode reverses Encode (lossless for any input).
+func (t *Tokenizer) Decode(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		if id >= 0 && id < len(t.vocab) {
+			b.WriteString(t.vocab[id])
+		}
+	}
+	return b.String()
+}

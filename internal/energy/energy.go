@@ -1,0 +1,69 @@
+// Package energy estimates power, energy and cost for simulated training
+// runs — the quantities behind the paper's motivation ("training models
+// becomes more expensive and gives significant impact to the environment").
+// The model is a simple component-power budget: each device draws its idle
+// power plus a dynamic share proportional to its utilization during the run.
+package energy
+
+import (
+	"fmt"
+
+	"llmbw/internal/train"
+)
+
+// Component power draws for the XE8545 platform (watts).
+const (
+	GPUIdleW    = 60.0  // A100 SXM4 idle
+	GPUActiveW  = 400.0 // A100 SXM4 at the 400 W SKU's TDP
+	CPUIdleW    = 90.0  // EPYC 7763 idle
+	CPUActiveW  = 280.0 // EPYC 7763 TDP
+	NodeBaseW   = 350.0 // fans, DIMMs, NICs, drives, PSU losses
+	GPUsPerNode = 4
+	CPUsPerNode = 2
+)
+
+// DefaultPricePerKWh is a data-center electricity price in USD.
+const DefaultPricePerKWh = 0.12
+
+// Estimate is the energy accounting of one training run.
+type Estimate struct {
+	AvgPowerW          float64 // whole-cluster average draw
+	EnergyPerIterKJ    float64
+	TokensPerKWh       float64
+	CostPer1BTokensUSD float64
+}
+
+// FromResult derives the estimate from a run's breakdown: GPUs draw active
+// power while computing or communicating and idle power otherwise; CPUs draw
+// active power during host optimizer phases.
+func FromResult(res *train.Result, b train.Breakdown) Estimate {
+	nodes := float64(res.Config.Nodes)
+	gpuBusy := 1.0
+	cpuBusy := 0.1
+	if b.Total > 0 {
+		gpuBusy = b.Fraction(b.Compute) + b.Fraction(b.Collective) + b.Fraction(b.Offload)
+		cpuBusy = 0.1 + 0.9*b.Fraction(b.HostAdam)
+	}
+	gpuW := (GPUIdleW + (GPUActiveW-GPUIdleW)*gpuBusy) * GPUsPerNode
+	cpuW := (CPUIdleW + (CPUActiveW-CPUIdleW)*cpuBusy) * CPUsPerNode
+	power := nodes * (gpuW + cpuW + NodeBaseW)
+
+	iterSec := res.IterTime.ToSeconds()
+	tokens := float64(res.Config.Model.TokensPerIteration(res.Config.BatchPerGPU, res.Config.WorldSize()))
+	e := Estimate{
+		AvgPowerW:       power,
+		EnergyPerIterKJ: power * iterSec / 1e3,
+	}
+	if iterSec > 0 && tokens > 0 {
+		kWhPerIter := power * iterSec / 3.6e6
+		e.TokensPerKWh = tokens / kWhPerIter
+		e.CostPer1BTokensUSD = 1e9 / e.TokensPerKWh * DefaultPricePerKWh
+	}
+	return e
+}
+
+// String renders the estimate.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.1f kW avg, %.1f kJ/iter, %.0f tokens/kWh, $%.2f per 1B tokens",
+		e.AvgPowerW/1e3, e.EnergyPerIterKJ, e.TokensPerKWh, e.CostPer1BTokensUSD)
+}

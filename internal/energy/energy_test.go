@@ -1,0 +1,60 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"llmbw/internal/memory"
+	"llmbw/internal/model"
+	"llmbw/internal/train"
+)
+
+func runTraced(t *testing.T, cfg train.Config) (*train.Result, train.Breakdown) {
+	t.Helper()
+	cfg.Trace = true
+	cfg.Iterations = 2
+	cfg.Warmup = 1
+	res, err := train.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, train.BreakdownFor(res.Trace)
+}
+
+func TestEstimateBounds(t *testing.T) {
+	res, b := runTraced(t, train.Config{Strategy: train.ZeRO2, Model: model.NewGPT(40)})
+	e := FromResult(res, b)
+	// One node: 4 GPUs ≤ 1.6 kW + 2 CPUs ≤ 560 W + 350 W base.
+	if e.AvgPowerW < 1000 || e.AvgPowerW > 2600 {
+		t.Errorf("node power = %.0f W, outside plausible range", e.AvgPowerW)
+	}
+	if e.TokensPerKWh <= 0 || e.CostPer1BTokensUSD <= 0 {
+		t.Errorf("degenerate estimate: %+v", e)
+	}
+	if !strings.Contains(e.String(), "tokens/kWh") {
+		t.Error("String rendering wrong")
+	}
+}
+
+func TestEfficientStrategyWinsTokensPerKWh(t *testing.T) {
+	g := model.NewGPT(23)
+	resA, bA := runTraced(t, train.Config{Strategy: train.ZeRO2, Model: g})
+	resB, bB := runTraced(t, train.Config{Strategy: train.Megatron, Model: g})
+	a := FromResult(resA, bA)
+	m := FromResult(resB, bB)
+	if a.TokensPerKWh <= m.TokensPerKWh {
+		t.Errorf("ZeRO-2 (%.0f tok/kWh) should beat Megatron-LM (%.0f) on energy", a.TokensPerKWh, m.TokensPerKWh)
+	}
+}
+
+func TestIdleGPUsDrawLessPower(t *testing.T) {
+	g := model.NewGPT(23)
+	resFast, bFast := runTraced(t, train.Config{Strategy: train.DDP, Model: g})
+	resOff, bOff := runTraced(t, train.Config{Strategy: train.ZeRO3, Offload: memory.NVMeOptimizer, Model: g})
+	fast := FromResult(resFast, bFast)
+	off := FromResult(resOff, bOff)
+	if off.AvgPowerW >= fast.AvgPowerW {
+		t.Errorf("NVMe-offload (GPUs mostly idle, %.0f W) should draw less than DDP (%.0f W)",
+			off.AvgPowerW, fast.AvgPowerW)
+	}
+}

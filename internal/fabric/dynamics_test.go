@@ -1,0 +1,72 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"llmbw/internal/sim"
+)
+
+// Property: under arbitrary mid-flight capacity changes, byte conservation
+// holds — every flow eventually completes and telemetry equals the bytes
+// injected.
+func TestDynamicCapacityConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.New()
+		net := NewNetwork(eng)
+		l := NewLink("dyn", PCIeNVME, 0, 10e9, 0)
+		var want float64
+		done := 0
+		flows := 1 + rng.Intn(6)
+		for i := 0; i < flows; i++ {
+			bytes := float64(1+rng.Intn(50)) * 1e8
+			want += bytes
+			at := sim.Time(rng.Intn(500)) * sim.Millisecond
+			eng.ScheduleAt(at, func() {
+				net.StartFlow(&Flow{Path: []*Link{l}, Bytes: bytes}, func() { done++ })
+			})
+		}
+		// Random capacity churn.
+		for i := 0; i < 5; i++ {
+			at := sim.Time(rng.Intn(1000)) * sim.Millisecond
+			c := float64(1+rng.Intn(20)) * 1e9
+			eng.ScheduleAt(at, func() { net.SetCapacity(l, c) })
+		}
+		eng.Run()
+		net.Quiesce()
+		if done != flows {
+			return false
+		}
+		got := l.Counter().Total()
+		return got > want*0.999999 && got < want*1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A capacity increase mid-flight speeds completion up.
+func TestCapacityIncreaseSpeedsUp(t *testing.T) {
+	run := func(boost bool) sim.Time {
+		eng := sim.New()
+		net := NewNetwork(eng)
+		l := NewLink("l", RoCE, 0, 5e9, 0)
+		var at sim.Time
+		net.StartFlow(&Flow{Path: []*Link{l}, Bytes: 10e9}, func() { at = eng.Now() })
+		if boost {
+			eng.Schedule(sim.Second, func() { net.SetCapacity(l, 20e9) })
+		}
+		eng.Run()
+		return at
+	}
+	slow, fast := run(false), run(true)
+	if fast >= slow {
+		t.Errorf("boost did not help: %v vs %v", fast, slow)
+	}
+	// 5 GB at 5 GB/s (1s) + 5 GB at 20 GB/s (0.25s) = 1.25s.
+	if got := fast.ToSeconds(); got < 1.24 || got > 1.26 {
+		t.Errorf("boosted completion = %v, want ~1.25s", fast)
+	}
+}

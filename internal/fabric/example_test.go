@@ -1,0 +1,24 @@
+package fabric_test
+
+import (
+	"fmt"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/sim"
+)
+
+// Two flows share a 10 GB/s link with max-min fairness: the short one
+// finishes first and the long one picks up the freed bandwidth.
+func Example() {
+	eng := sim.New()
+	net := fabric.NewNetwork(eng)
+	link := fabric.NewLink("nvlink", fabric.NVLink, 0, 10e9, 0)
+	net.StartFlow(&fabric.Flow{Name: "short", Path: []*fabric.Link{link}, Bytes: 1e9},
+		func() { fmt.Printf("short done at %v\n", eng.Now()) })
+	net.StartFlow(&fabric.Flow{Name: "long", Path: []*fabric.Link{link}, Bytes: 9e9},
+		func() { fmt.Printf("long done at %v\n", eng.Now()) })
+	eng.Run()
+	// Output:
+	// short done at 200.000ms
+	// long done at 1.000s
+}

@@ -1,0 +1,280 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"llmbw/internal/sim"
+)
+
+// Flow is a data transfer of a fixed byte volume over a path of links. Its
+// instantaneous rate is assigned by the Network's max-min fair allocation and
+// may change whenever flows start, finish, or link capacities change.
+type Flow struct {
+	Name      string
+	Path      []*Link
+	Bytes     float64
+	RateLimit float64 // optional per-flow cap in bytes/s; 0 = unlimited
+
+	remaining float64
+	rate      float64
+	onDone    func()
+	done      bool
+	frozen    bool // scratch state for the fair-share computation
+}
+
+// Remaining returns the bytes left to transfer.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the currently assigned rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Network manages active flows over the link graph and advances them in
+// virtual time.
+type Network struct {
+	eng    *sim.Engine
+	flows  map[*Flow]struct{}
+	lastAt sim.Time
+	epoch  int64 // invalidates stale completion events
+}
+
+// NewNetwork creates a network bound to the engine.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{eng: eng, flows: make(map[*Flow]struct{})}
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// StartFlow begins transferring f and invokes onDone (from engine context)
+// when the last byte arrives. Zero-byte flows complete after one scheduler
+// tick. Flows must have a non-empty path unless they are pure-latency
+// zero-byte markers.
+func (n *Network) StartFlow(f *Flow, onDone func()) {
+	if f.Bytes < 0 {
+		panic(fmt.Sprintf("fabric: flow %s with negative bytes", f.Name))
+	}
+	f.remaining = f.Bytes
+	f.onDone = onDone
+	f.done = false
+	if f.Bytes == 0 || len(f.Path) == 0 {
+		n.eng.Schedule(0, func() {
+			f.done = true
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return
+	}
+	n.advance()
+	n.flows[f] = struct{}{}
+	for _, l := range f.Path {
+		l.flows++
+	}
+	n.reshare()
+}
+
+// Transfer is a convenience wrapper for processes: it starts the flow and
+// blocks p until completion.
+func (n *Network) Transfer(p *sim.Proc, f *Flow) {
+	p.Await(func(resume func()) { n.StartFlow(f, resume) })
+}
+
+// SetCapacity changes a link's capacity mid-simulation (e.g. an NVMe write
+// cache filling up) and reallocates flow rates.
+func (n *Network) SetCapacity(l *Link, capacity float64) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("fabric: non-positive capacity for %s", l.Name))
+	}
+	if l.capacity == capacity {
+		return
+	}
+	n.advance()
+	l.capacity = capacity
+	n.reshare()
+}
+
+// advance credits bytes moved since the last rate change to flows and link
+// telemetry, up to the current virtual time.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	dt := now - n.lastAt
+	if dt < 0 {
+		panic("fabric: time went backwards")
+	}
+	if dt == 0 {
+		n.lastAt = now
+		return
+	}
+	sec := dt.ToSeconds()
+	for f := range n.flows {
+		moved := f.rate * sec
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		if moved > 0 {
+			for _, l := range f.Path {
+				l.counter.Add(n.lastAt, now, moved*l.CountWeight)
+			}
+		}
+	}
+	n.lastAt = now
+}
+
+// reshare recomputes max-min fair rates for all active flows, retires flows
+// that have (within tolerance) finished, and schedules the next completion.
+func (n *Network) reshare() {
+	// Retire finished flows first so they do not consume shares.
+	for f := range n.flows {
+		if f.remaining <= 1e-6 {
+			n.finish(f)
+		}
+	}
+	n.computeRates()
+	n.scheduleNextCompletion()
+}
+
+func (n *Network) finish(f *Flow) {
+	delete(n.flows, f)
+	for _, l := range f.Path {
+		l.flows--
+	}
+	f.remaining = 0
+	f.rate = 0
+	f.done = true
+	if f.onDone != nil {
+		cb := f.onDone
+		f.onDone = nil
+		n.eng.Schedule(0, cb)
+	}
+}
+
+// computeRates implements progressive filling: repeatedly find the most
+// constrained resource, freeze its flows at the fair share, and continue with
+// reduced capacities. Per-flow rate limits are treated as single-flow links.
+func (n *Network) computeRates() {
+	if len(n.flows) == 0 {
+		return
+	}
+	type linkState struct {
+		cap      float64
+		unfrozen int
+	}
+	states := make(map[*Link]*linkState)
+	for f := range n.flows {
+		f.frozen = false
+		f.rate = 0
+		for _, l := range f.Path {
+			st := states[l]
+			if st == nil {
+				st = &linkState{cap: l.capacity}
+				states[l] = st
+			}
+			st.unfrozen++
+		}
+	}
+	unfrozen := len(n.flows)
+	for unfrozen > 0 {
+		// Find the bottleneck: smallest fair share over links and flow caps.
+		share := math.MaxFloat64
+		for _, st := range states {
+			if st.unfrozen == 0 {
+				continue
+			}
+			if s := st.cap / float64(st.unfrozen); s < share {
+				share = s
+			}
+		}
+		for f := range n.flows {
+			if !f.frozen && f.RateLimit > 0 && f.RateLimit < share {
+				share = f.RateLimit
+			}
+		}
+		if share == math.MaxFloat64 || share < 0 {
+			panic("fabric: fair-share computation failed")
+		}
+		// Freeze every flow constrained at this share.
+		progressed := false
+		for f := range n.flows {
+			if f.frozen {
+				continue
+			}
+			capped := f.RateLimit > 0 && f.RateLimit <= share*(1+1e-12)
+			bottled := false
+			if !capped {
+				for _, l := range f.Path {
+					st := states[l]
+					if st.unfrozen > 0 && st.cap/float64(st.unfrozen) <= share*(1+1e-12) {
+						bottled = true
+						break
+					}
+				}
+			}
+			if !capped && !bottled {
+				continue
+			}
+			f.frozen = true
+			f.rate = share
+			if capped && f.RateLimit < share {
+				f.rate = f.RateLimit
+			}
+			unfrozen--
+			progressed = true
+			for _, l := range f.Path {
+				st := states[l]
+				st.cap -= f.rate
+				if st.cap < 0 {
+					st.cap = 0
+				}
+				st.unfrozen--
+			}
+		}
+		if !progressed {
+			panic("fabric: progressive filling made no progress")
+		}
+	}
+}
+
+// scheduleNextCompletion arms a single event at the earliest projected flow
+// completion. Any state change bumps the epoch, so stale events no-op.
+func (n *Network) scheduleNextCompletion() {
+	n.epoch++
+	if len(n.flows) == 0 {
+		return
+	}
+	soonest := sim.Time(math.MaxInt64)
+	for f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		eta := sim.Time(math.Ceil(f.remaining / f.rate * float64(sim.Second)))
+		if eta < 1 {
+			eta = 1
+		}
+		if eta < soonest {
+			soonest = eta
+		}
+	}
+	if soonest == sim.Time(math.MaxInt64) {
+		panic("fabric: active flows but no positive rates (zero-capacity deadlock)")
+	}
+	epoch := n.epoch
+	n.eng.Schedule(soonest, func() {
+		if epoch != n.epoch {
+			return
+		}
+		n.advance()
+		n.reshare()
+	})
+}
+
+// Quiesce advances accounting to the current time; call before reading
+// telemetry at the end of a run.
+func (n *Network) Quiesce() { n.advance() }

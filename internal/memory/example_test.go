@@ -1,0 +1,21 @@
+package memory_test
+
+import (
+	"fmt"
+
+	"llmbw/internal/memory"
+	"llmbw/internal/model"
+)
+
+// Ask the ZeRO memory laws for the largest single-node ZeRO-3 model.
+func Example() {
+	profile := memory.ZeROProfile(3, 4, memory.NoOffload)
+	largest := profile.MaxModel(model.DefaultBatchSize, 4)
+	fmt.Printf("largest ZeRO-3 model on one node: %.1fB params\n", largest.ParamsB())
+	// The 16Ψ/N law: per-GPU model states at 4-way sharding.
+	perGPU := profile.StateBytesPerGPU(largest.Params())
+	fmt.Printf("model states per GPU: %.1f GB\n", perGPU/1e9)
+	// Output:
+	// largest ZeRO-3 model on one node: 6.6B params
+	// model states per GPU: 26.2 GB
+}

@@ -1,0 +1,251 @@
+// Package memory implements the model-state memory accounting that
+// determines the paper's "achieved model size" results (Fig 6, Fig 13).
+//
+// The foundation is the ZeRO paper's census for mixed-precision Adam: a
+// model with Ψ parameters carries 16Ψ bytes of model states — 2Ψ FP16
+// parameters, 2Ψ FP16 gradients, and 12Ψ optimizer state (FP32 master
+// params, momentum and variance). Strategies differ in how these are
+// replicated, sharded across the data-parallel group, split across
+// model-parallel ranks, or offloaded to CPU/NVMe:
+//
+//	DDP        2Ψ + 2Ψ + 12Ψ        per GPU (all replicated)
+//	Megatron   16Ψ/M                per GPU (model parallel degree M)
+//	ZeRO-1     2Ψ + 2Ψ + 12Ψ/N
+//	ZeRO-2     2Ψ + 2Ψ/N + 12Ψ/N
+//	ZeRO-3     (2Ψ + 2Ψ + 12Ψ)/N
+//	+Offload   optimizer (and for ZeRO-3 optionally parameters) to CPU
+//	+Infinity  optimizer (and optionally parameters) to NVMe
+//
+// On top sit activations (with or without checkpointing), communication
+// buffers and framework overheads. A handful of named calibration constants
+// absorb what the real stack does not expose analytically (allocator
+// fragmentation, DeepSpeed bucket sizing, pinned-staging factors); each is
+// documented where defined and the resulting fit against the paper is
+// recorded in EXPERIMENTS.md.
+package memory
+
+import (
+	"fmt"
+	"math"
+
+	"llmbw/internal/model"
+)
+
+// Device is a memory tier.
+type Device int
+
+// Memory tiers.
+const (
+	OnGPU Device = iota
+	OnCPU
+	OnNVMe
+)
+
+func (d Device) String() string {
+	switch d {
+	case OnGPU:
+		return "GPU"
+	case OnCPU:
+		return "CPU"
+	case OnNVMe:
+		return "NVMe"
+	}
+	return fmt.Sprintf("Device(%d)", int(d))
+}
+
+// Platform capacities (per node). The paper's XE8545 nodes.
+const (
+	GB            = 1e9
+	GPUMemBytes   = 40 * GB   // NVIDIA A100 SXM4 40 GB
+	CPUMemBytes   = 1024 * GB // 16 × 64 GB DDR4
+	HostOSReserve = 40 * GB   // OS, libraries, page cache head-room
+)
+
+// Calibration constants. These stand in for behaviours of the real stack
+// that have no closed form; values were fitted once against the paper's
+// achieved-model-size and memory-usage numbers and are never tuned per
+// experiment.
+const (
+	// GPUOverheadBytes is the CUDA context, cuBLAS/cuDNN workspaces and
+	// allocator slack present in every process.
+	GPUOverheadBytes = 4 * GB
+	// HostBaselineBytes is per-node host memory used by the framework and
+	// dataloader in non-offload runs (paper Sec IV-D reports 18-25 GB).
+	HostBaselineBytes = 20 * GB
+	// BucketBytes is the fused communication buffer (NCCL/DeepSpeed
+	// allreduce & allgather buckets).
+	BucketBytes = 2 * GB
+	// ZeRO2ExtraBytes covers ZeRO-2's reduce-scatter partition staging.
+	ZeRO2ExtraBytes = 1.5 * GB
+	// ZeRO3ExtraBytes covers ZeRO-3's parameter prefetch queue, persistent
+	// small-tensor pool and higher fragmentation.
+	ZeRO3ExtraBytes = 4 * GB
+	// DDPGradCopyPerParam models PyTorch DDP's flattened gradient-bucket
+	// copy (an extra FP16 gradient image).
+	DDPGradCopyPerParam = 2.0
+	// OffloadGradResidency is the fraction of the gradient footprint
+	// resident on GPU when the optimizer is offloaded and gradients drain
+	// to pinned CPU staging during the backward pass.
+	OffloadGradResidency = 0.7
+	// InfinityGradResidency is the same for ZeRO-Infinity, which drains
+	// per-sub-group into NVMe-bound buffers far more aggressively.
+	InfinityGradResidency = 0.25
+	// CPU staging bytes/param for offload modes (pinned double buffers +
+	// resident offloaded states), calibrated against Fig 11-b:
+	OffloadCPUPerParamZ1   = 24.0 // ZeRO-1: 12 opt + full grad staging
+	OffloadCPUPerParamZ2   = 25.6 // ZeRO-2: 12 opt ×1.8 pinned + 2×2 grads
+	OffloadCPUPerParamZ3   = 24.0 // ZeRO-3: params join the CPU pool
+	InfinityCPUPerParamOpt = 26.0 // NVMe opt: CPU bounce buffers + params
+	InfinityCPUPerParamAll = 42.0 // NVMe opt+params: more staging
+	// NVMe bytes/param: the 12Ψ optimizer image (+2Ψ params when offloaded)
+	// plus aio alignment slack.
+	InfinityNVMePerParamOpt = 12.0
+	InfinityNVMePerParamAll = 14.0
+)
+
+// Profile describes where a strategy puts each model-state component. All
+// shard counts are within the data-parallel group; ModelParallel divides
+// everything Megatron-style.
+type Profile struct {
+	Name          string
+	DataParallel  int
+	ModelParallel int
+
+	ParamShards int // GPU residency divisor for FP16 params
+	GradShards  int
+	OptShards   int
+
+	OptDevice    Device  // OnGPU, OnCPU or OnNVMe
+	ParamsDevice Device  // OnGPU normally; OnCPU/OnNVMe for ZeRO-3 offload
+	GradResident float64 // fraction of the gradient shard resident on GPU
+
+	ActivationCkpt bool
+
+	ExtraGPUBytes    float64 // fixed per-GPU buffers
+	ExtraGPUPerParam float64 // per-param per-GPU buffers (DDP bucket copy)
+	CPUPerParam      float64 // host bytes per param (offload staging)
+	NVMePerParam     float64 // NVMe bytes per param
+}
+
+// Validate reports malformed profiles.
+func (p Profile) Validate() error {
+	if p.DataParallel < 1 || p.ModelParallel < 1 {
+		return fmt.Errorf("memory: %s: parallel degrees must be >=1", p.Name)
+	}
+	if p.ParamShards < 1 || p.GradShards < 1 || p.OptShards < 1 {
+		return fmt.Errorf("memory: %s: shard counts must be >=1", p.Name)
+	}
+	if p.GradResident < 0 || p.GradResident > 1 {
+		return fmt.Errorf("memory: %s: gradient residency %f outside [0,1]", p.Name, p.GradResident)
+	}
+	return nil
+}
+
+// StateBytesPerGPU returns resident model-state bytes per GPU for Ψ params.
+func (p Profile) StateBytesPerGPU(params int64) float64 {
+	psi := float64(params) / float64(p.ModelParallel)
+	var states float64
+	if p.ParamsDevice == OnGPU {
+		states += 2 * psi / float64(p.ParamShards)
+	}
+	states += 2 * psi / float64(p.GradShards) * p.GradResident
+	if p.OptDevice == OnGPU {
+		states += 12 * psi / float64(p.OptShards)
+	}
+	return states
+}
+
+// ActivationBytesPerGPU returns the activation footprint per GPU. With
+// checkpointing only layer inputs persist plus one layer's recompute working
+// set; without it, full activations are held (divided across model-parallel
+// ranks, whose tensor slices shrink proportionally).
+func (p Profile) ActivationBytesPerGPU(g model.GPT, batch int) float64 {
+	mp := float64(p.ModelParallel)
+	layers := float64(g.Layers)
+	full := g.ActivationBytesPerLayer(batch)
+	inputs := g.CheckpointBytesPerLayer(batch)
+	embed := g.EmbeddingActivationBytes(batch) / mp
+	if p.ActivationCkpt {
+		return layers*inputs + full/mp + embed
+	}
+	return layers*(full/mp+inputs) + embed
+}
+
+// Usage is a per-node memory picture.
+type Usage struct {
+	PerGPU   float64 // bytes on each GPU
+	GPUTotal float64 // all GPUs of the node
+	CPUTotal float64
+	NVMe     float64
+}
+
+// Total returns the node-wide sum, the quantity Fig 11-b stacks.
+func (u Usage) Total() float64 { return u.GPUTotal + u.CPUTotal + u.NVMe }
+
+// String renders the usage in GB.
+func (u Usage) String() string {
+	return fmt.Sprintf("GPU %.0f GB (%.1f/GPU), CPU %.0f GB, NVMe %.0f GB",
+		u.GPUTotal/GB, u.PerGPU/GB, u.CPUTotal/GB, u.NVMe/GB)
+}
+
+// Plan computes the memory usage of training g under this profile with the
+// given per-GPU batch and GPUs per node.
+func (p Profile) Plan(g model.GPT, batch, gpusPerNode int) Usage {
+	psi := float64(g.Params())
+	perGPU := p.StateBytesPerGPU(g.Params()) +
+		p.ActivationBytesPerGPU(g, batch) +
+		GPUOverheadBytes + BucketBytes +
+		p.ExtraGPUBytes + p.ExtraGPUPerParam*psi/float64(p.ModelParallel)
+	return Usage{
+		PerGPU:   perGPU,
+		GPUTotal: perGPU * float64(gpusPerNode),
+		CPUTotal: HostBaselineBytes + p.CPUPerParam*psi,
+		NVMe:     p.NVMePerParam * psi,
+	}
+}
+
+// Fits reports whether the plan fits node capacities.
+func (p Profile) Fits(g model.GPT, batch, gpusPerNode int) bool {
+	u := p.Plan(g, batch, gpusPerNode)
+	return u.PerGPU <= GPUMemBytes &&
+		u.CPUTotal <= CPUMemBytes-HostOSReserve &&
+		u.NVMe <= 2*3200*GB // two 3.2 TB scratch drives minimum
+}
+
+// MaxLayers returns the largest layer count that fits, or 0 if even one
+// layer does not. This is the paper's procedure of growing the model until
+// the configuration can no longer train it.
+func (p Profile) MaxLayers(batch, gpusPerNode int) int {
+	if !p.Fits(model.NewGPT(1), batch, gpusPerNode) {
+		return 0
+	}
+	lo, hi := 1, 2
+	for p.Fits(model.NewGPT(hi), batch, gpusPerNode) {
+		lo = hi
+		hi *= 2
+		if hi > 1<<16 {
+			panic(fmt.Sprintf("memory: %s fit search diverged", p.Name))
+		}
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if p.Fits(model.NewGPT(mid), batch, gpusPerNode) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MaxModel returns the largest model that fits under the profile.
+func (p Profile) MaxModel(batch, gpusPerNode int) model.GPT {
+	l := p.MaxLayers(batch, gpusPerNode)
+	if l == 0 {
+		return model.GPT{}
+	}
+	return model.NewGPT(l)
+}
+
+// roundUp is a helper for sanity checks in tests.
+func roundUp(x float64) int64 { return int64(math.Ceil(x)) }

@@ -1,0 +1,278 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"llmbw/internal/model"
+)
+
+const batch = model.DefaultBatchSize
+
+// within checks x is within frac of want.
+func within(t *testing.T, name string, got, want, frac float64) {
+	t.Helper()
+	lo, hi := want*(1-frac), want*(1+frac)
+	if got < lo || got > hi {
+		t.Errorf("%s = %.2f, want %.2f ±%.0f%%", name, got, want, frac*100)
+	}
+}
+
+// TestAchievedModelSizeSingleNode reproduces the shape of the paper's Fig 6-a:
+// maximum model sizes on one node (4 GPUs).
+func TestAchievedModelSizeSingleNode(t *testing.T) {
+	cases := []struct {
+		p      Profile
+		paperB float64
+	}{
+		{DDPProfile(4), 1.4},
+		{MegatronProfile(4), 5.5},
+		{ZeROProfile(1, 4, NoOffload), 4.4},
+		{ZeROProfile(2, 4, NoOffload), 5.2},
+		{ZeROProfile(3, 4, NoOffload), 6.6},
+	}
+	for _, c := range cases {
+		g := c.p.MaxModel(batch, 4)
+		within(t, c.p.Name+" max size (B)", g.ParamsB(), c.paperB, 0.15)
+	}
+}
+
+// TestAchievedModelSizeDualNode reproduces Fig 6-b (8 GPUs).
+func TestAchievedModelSizeDualNode(t *testing.T) {
+	cases := []struct {
+		p      Profile
+		paperB float64
+	}{
+		{DDPProfile(8), 1.4},
+		{MegatronProfile(8), 11.4},
+		{ZeROProfile(1, 8, NoOffload), 6.4},
+		{ZeROProfile(2, 8, NoOffload), 8.5},
+		{ZeROProfile(3, 8, NoOffload), 13.5},
+	}
+	for _, c := range cases {
+		g := c.p.MaxModel(batch, 4)
+		within(t, c.p.Name+" dual-node max size (B)", g.ParamsB(), c.paperB, 0.15)
+	}
+}
+
+// TestOffloadModelSizes reproduces Fig 13-a: the largest single-node models
+// with ZeRO-Offload and ZeRO-Infinity.
+func TestOffloadModelSizes(t *testing.T) {
+	cases := []struct {
+		p      Profile
+		paperB float64
+	}{
+		{ZeROProfile(1, 4, CPUOffload), 8.9},
+		{ZeROProfile(2, 4, CPUOffload), 14.2},
+		{ZeROProfile(3, 4, NVMeOptimizer), 33.3},
+	}
+	for _, c := range cases {
+		g := c.p.MaxModel(batch, 4)
+		within(t, c.p.Name+" offload max size (B)", g.ParamsB(), c.paperB, 0.20)
+	}
+}
+
+// TestSizeOrderings asserts the qualitative conclusion of Fig 6 independent of
+// calibration: ZeRO-3 > Megatron > ZeRO-2 > ZeRO-1 > DDP on both node counts.
+func TestSizeOrderings(t *testing.T) {
+	for _, gpus := range []int{4, 8} {
+		ddp := DDPProfile(gpus).MaxModel(batch, 4).Params()
+		meg := MegatronProfile(gpus).MaxModel(batch, 4).Params()
+		z1 := ZeROProfile(1, gpus, NoOffload).MaxModel(batch, 4).Params()
+		z2 := ZeROProfile(2, gpus, NoOffload).MaxModel(batch, 4).Params()
+		z3 := ZeROProfile(3, gpus, NoOffload).MaxModel(batch, 4).Params()
+		if !(z3 > meg && meg > z2 && z2 > z1 && z1 > ddp) {
+			t.Errorf("gpus=%d ordering violated: ddp=%d z1=%d z2=%d meg=%d z3=%d",
+				gpus, ddp, z1, z2, meg, z3)
+		}
+	}
+}
+
+func TestMegatronFitsRoughly4xDDP(t *testing.T) {
+	ddp := DDPProfile(4).MaxModel(batch, 4).ParamsB()
+	meg := MegatronProfile(4).MaxModel(batch, 4).ParamsB()
+	within(t, "Megatron/DDP size ratio", meg/ddp, 4.0, 0.25)
+}
+
+func TestInfinitySixTimesMegatronSingleNode(t *testing.T) {
+	meg := MegatronProfile(4).MaxModel(batch, 4).ParamsB()
+	inf := ZeROProfile(3, 4, NVMeOptimizer).MaxModel(batch, 4).ParamsB()
+	if ratio := inf / meg; ratio < 4.5 {
+		t.Errorf("Infinity/Megatron = %.1fx, paper reports ~6x; want >4.5x", ratio)
+	}
+}
+
+func TestStateBytesMatchZeROLaws(t *testing.T) {
+	g := model.NewGPT(26)
+	psi := float64(g.Params())
+	cases := []struct {
+		p    Profile
+		want float64
+	}{
+		{DDPProfile(4), 16 * psi},
+		{ZeROProfile(1, 4, NoOffload), 7 * psi},   // 4Ψ + 12Ψ/4
+		{ZeROProfile(2, 4, NoOffload), 5.5 * psi}, // 2Ψ + 14Ψ/4
+		{ZeROProfile(3, 4, NoOffload), 4 * psi},   // 16Ψ/4
+		{MegatronProfile(4), 4 * psi},
+	}
+	for _, c := range cases {
+		got := c.p.StateBytesPerGPU(g.Params())
+		within(t, c.p.Name+" state bytes", got, c.want, 1e-9)
+	}
+}
+
+func TestOffloadMovesOptimizerOffGPU(t *testing.T) {
+	g := model.NewGPT(100)
+	on := ZeROProfile(2, 4, NoOffload).StateBytesPerGPU(g.Params())
+	off := ZeROProfile(2, 4, CPUOffload).StateBytesPerGPU(g.Params())
+	if off >= on {
+		t.Errorf("CPU offload did not reduce GPU states: %v >= %v", off, on)
+	}
+	u := ZeROProfile(2, 4, CPUOffload).Plan(g, batch, 4)
+	if u.CPUTotal <= HostBaselineBytes {
+		t.Error("CPU offload shows no host memory growth")
+	}
+}
+
+func TestInfinityUsesNVMe(t *testing.T) {
+	g := model.NewGPT(224) // ~11.4B
+	u := ZeROProfile(3, 4, NVMeOptimizer).Plan(g, batch, 4)
+	if u.NVMe <= 0 {
+		t.Fatal("no NVMe usage for ZeRO-Infinity")
+	}
+	// ~12 bytes/param optimizer image.
+	within(t, "NVMe bytes/param", u.NVMe/float64(g.Params()), 12, 0.01)
+	all := ZeROProfile(3, 4, NVMeOptimizerAndParams).Plan(g, batch, 4)
+	if all.NVMe <= u.NVMe {
+		t.Error("offloading params should increase NVMe usage")
+	}
+}
+
+// TestFig11MemoryComposition checks the consolidation memory picture for the
+// 11.4 B model (paper Fig 11-b): CPU dominates for offload runs.
+func TestFig11MemoryComposition(t *testing.T) {
+	g := model.NewGPT(224)
+	z2 := ZeROProfile(2, 4, CPUOffload).Plan(g, batch, 4)
+	if z2.CPUTotal < z2.GPUTotal {
+		t.Errorf("ZeRO-2 (CPU): CPU (%v) should exceed GPU (%v)", z2.CPUTotal, z2.GPUTotal)
+	}
+	within(t, "ZeRO-2(CPU) CPU GB", z2.CPUTotal/GB, 353, 0.25)
+	z3 := ZeROProfile(3, 4, CPUOffload).Plan(g, batch, 4)
+	within(t, "ZeRO-3(CPU) CPU GB", z3.CPUTotal/GB, 295, 0.25)
+	inf := ZeROProfile(3, 4, NVMeOptimizer).Plan(g, batch, 4)
+	within(t, "Infinity CPU GB", inf.CPUTotal/GB, 317, 0.25)
+	within(t, "Infinity NVMe GB", inf.NVMe/GB, 129, 0.20)
+	all := ZeROProfile(3, 4, NVMeOptimizerAndParams).Plan(g, batch, 4)
+	within(t, "Infinity opt+param CPU GB", all.CPUTotal/GB, 488, 0.25)
+	within(t, "Infinity opt+param NVMe GB", all.NVMe/GB, 150, 0.20)
+}
+
+func TestNonOffloadHostMemorySmall(t *testing.T) {
+	// Paper Sec IV-D: 18-25 GB CPU for all non-offload configurations.
+	g := model.NewGPT(26)
+	for _, p := range []Profile{DDPProfile(4), MegatronProfile(4), ZeROProfile(3, 4, NoOffload)} {
+		u := p.Plan(g, batch, 4)
+		if u.CPUTotal < 15*GB || u.CPUTotal > 30*GB {
+			t.Errorf("%s host memory = %.0f GB, want 18-25", p.Name, u.CPUTotal/GB)
+		}
+	}
+}
+
+// Property: memory plans are monotone in layer count on every tier.
+func TestPlanMonotoneProperty(t *testing.T) {
+	profiles := []Profile{
+		DDPProfile(4), MegatronProfile(8),
+		ZeROProfile(1, 8, NoOffload), ZeROProfile(2, 4, CPUOffload),
+		ZeROProfile(3, 4, NVMeOptimizerAndParams),
+	}
+	f := func(raw uint8, pi uint8) bool {
+		p := profiles[int(pi)%len(profiles)]
+		l := int(raw)%200 + 1
+		a := p.Plan(model.NewGPT(l), batch, 4)
+		b := p.Plan(model.NewGPT(l+1), batch, 4)
+		return b.PerGPU > a.PerGPU && b.CPUTotal >= a.CPUTotal && b.NVMe >= a.NVMe
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MaxLayers is exactly the fit boundary.
+func TestMaxLayersBoundaryProperty(t *testing.T) {
+	profiles := []Profile{
+		DDPProfile(4), MegatronProfile(4), ZeROProfile(2, 8, NoOffload),
+		ZeROProfile(1, 4, CPUOffload), ZeROProfile(3, 4, NVMeOptimizer),
+	}
+	for _, p := range profiles {
+		l := p.MaxLayers(batch, 4)
+		if l == 0 {
+			t.Errorf("%s fits nothing", p.Name)
+			continue
+		}
+		if !p.Fits(model.NewGPT(l), batch, 4) {
+			t.Errorf("%s: MaxLayers %d does not fit", p.Name, l)
+		}
+		if p.Fits(model.NewGPT(l+1), batch, 4) {
+			t.Errorf("%s: MaxLayers %d not maximal", p.Name, l)
+		}
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	good := DDPProfile(4)
+	if err := good.Validate(); err != nil {
+		t.Errorf("good profile rejected: %v", err)
+	}
+	bad := good
+	bad.GradResident = 2
+	if bad.Validate() == nil {
+		t.Error("residency > 1 accepted")
+	}
+	bad = good
+	bad.OptShards = 0
+	if bad.Validate() == nil {
+		t.Error("zero shards accepted")
+	}
+}
+
+func TestProfileConstructorsPanicOnMisuse(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"stage 0":           func() { ZeROProfile(0, 4, NoOffload) },
+		"stage 4":           func() { ZeROProfile(4, 4, NoOffload) },
+		"z1 nvme":           func() { ZeROProfile(1, 4, NVMeOptimizer) },
+		"z2 nvme opt+param": func() { ZeROProfile(2, 4, NVMeOptimizerAndParams) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUsageAccessors(t *testing.T) {
+	u := Usage{PerGPU: 10 * GB, GPUTotal: 40 * GB, CPUTotal: 100 * GB, NVMe: 50 * GB}
+	if u.Total() != 190*GB {
+		t.Errorf("Total = %v", u.Total())
+	}
+	if u.String() == "" {
+		t.Error("empty usage string")
+	}
+	if OnGPU.String() != "GPU" || OnNVMe.String() != "NVMe" || Device(9).String() == "" {
+		t.Error("device strings wrong")
+	}
+	for _, o := range []Offload{NoOffload, CPUOffload, NVMeOptimizer, NVMeOptimizerAndParams, Offload(9)} {
+		if o.String() == "" {
+			t.Errorf("offload %d renders empty", int(o))
+		}
+	}
+}
+
+func TestRoundUpHelper(t *testing.T) {
+	if roundUp(1.2) != 2 || roundUp(3.0) != 3 {
+		t.Error("roundUp wrong")
+	}
+}

@@ -1,0 +1,125 @@
+package memory
+
+import "fmt"
+
+// Offload selects where offloadable model states go, mirroring the paper's
+// Table I capability matrix.
+type Offload int
+
+// Offload destinations.
+const (
+	NoOffload Offload = iota
+	CPUOffload
+	NVMeOptimizer          // ZeRO-Infinity: optimizer states on NVMe
+	NVMeOptimizerAndParams // ZeRO-Infinity: optimizer + parameters on NVMe
+)
+
+func (o Offload) String() string {
+	switch o {
+	case NoOffload:
+		return "none"
+	case CPUOffload:
+		return "cpu"
+	case NVMeOptimizer:
+		return "nvme-opt"
+	case NVMeOptimizerAndParams:
+		return "nvme-opt+param"
+	}
+	return fmt.Sprintf("Offload(%d)", int(o))
+}
+
+// DDPProfile models PyTorch DistributedDataParallel: everything replicated,
+// full activations (the plain GPT-2 training script does not checkpoint),
+// plus DDP's flattened gradient-bucket copy.
+func DDPProfile(dataParallel int) Profile {
+	return Profile{
+		Name:             "DDP",
+		DataParallel:     dataParallel,
+		ModelParallel:    1,
+		ParamShards:      1,
+		GradShards:       1,
+		OptShards:        1,
+		GradResident:     1,
+		ExtraGPUPerParam: DDPGradCopyPerParam,
+	}
+}
+
+// MegatronProfile models Megatron-LM tensor/pipeline model parallelism of
+// total degree mp (the paper runs pure model parallelism across all GPUs:
+// degree 4 on one node, 8 on two). Activations shrink with the tensor slices
+// but are not checkpointed in the paper's configuration.
+func MegatronProfile(mp int) Profile {
+	return Profile{
+		Name:          fmt.Sprintf("Megatron-LM(MP=%d)", mp),
+		DataParallel:  1,
+		ModelParallel: mp,
+		ParamShards:   1,
+		GradShards:    1,
+		OptShards:     1,
+		GradResident:  1,
+	}
+}
+
+// ZeROProfile models DeepSpeed ZeRO at a given stage (1, 2 or 3) with n-way
+// data parallelism and the chosen offload destination. DeepSpeed runs enable
+// activation checkpointing (as the DeepSpeed GPT-2 examples do).
+func ZeROProfile(stage, n int, off Offload) Profile {
+	if stage < 1 || stage > 3 {
+		panic(fmt.Sprintf("memory: ZeRO stage %d out of range", stage))
+	}
+	if off != NoOffload {
+		if stage < 3 && off != CPUOffload {
+			panic(fmt.Sprintf("memory: ZeRO-%d supports only CPU offload (Table I)", stage))
+		}
+	}
+	p := Profile{
+		Name:           fmt.Sprintf("ZeRO-%d", stage),
+		DataParallel:   n,
+		ModelParallel:  1,
+		ParamShards:    1,
+		GradShards:     1,
+		OptShards:      n,
+		GradResident:   1,
+		ActivationCkpt: true,
+	}
+	if stage >= 2 {
+		p.GradShards = n
+		p.ExtraGPUBytes = ZeRO2ExtraBytes
+	}
+	if stage >= 3 {
+		p.ParamShards = n
+		p.ExtraGPUBytes = ZeRO3ExtraBytes
+	}
+	switch off {
+	case NoOffload:
+	case CPUOffload:
+		p.Name += " (CPU)"
+		p.OptDevice = OnCPU
+		p.GradResident = OffloadGradResidency
+		switch stage {
+		case 1:
+			p.CPUPerParam = OffloadCPUPerParamZ1
+		case 2:
+			p.CPUPerParam = OffloadCPUPerParamZ2
+		case 3:
+			p.CPUPerParam = OffloadCPUPerParamZ3
+		}
+	case NVMeOptimizer, NVMeOptimizerAndParams:
+		if stage != 3 {
+			panic("memory: NVMe offload requires ZeRO-3 (ZeRO-Infinity)")
+		}
+		p.OptDevice = OnNVMe
+		p.GradResident = InfinityGradResidency
+		if off == NVMeOptimizer {
+			p.Name += " (NVMe opt)"
+			p.CPUPerParam = InfinityCPUPerParamOpt
+			p.NVMePerParam = InfinityNVMePerParamOpt
+		} else {
+			p.Name += " (NVMe opt+param)"
+			p.ParamsDevice = OnNVMe
+			p.CPUPerParam = InfinityCPUPerParamAll
+			p.NVMePerParam = InfinityNVMePerParamAll
+		}
+	}
+	return p
+}

@@ -1,0 +1,19 @@
+package model_test
+
+import (
+	"fmt"
+
+	"llmbw/internal/model"
+)
+
+// Build the paper's ~1.4 B-parameter GPT-2-like model and inspect it.
+func Example() {
+	g := model.NewGPT(model.LayersForParams(1.4e9))
+	fmt.Printf("layers: %d\n", g.Layers)
+	fmt.Printf("params: %.2fB\n", g.ParamsB())
+	fmt.Printf("tokens/iter on 4 GPUs: %d\n", g.TokensPerIteration(model.DefaultBatchSize, 4))
+	// Output:
+	// layers: 26
+	// params: 1.41B
+	// tokens/iter on 4 GPUs: 16384
+}

@@ -1,0 +1,48 @@
+package model
+
+// Preset is a named transformer configuration. The paper's evaluation varies
+// only the layer count at fixed width (h=2048, a=16, s=256); the presets
+// below add the published GPT-2/GPT-3 family shapes so the library can be
+// used for capacity planning beyond the paper's sweep. Note that bandwidth
+// results for non-paper widths extrapolate the calibrated efficiency curve.
+type Preset struct {
+	Name string
+	GPT  GPT
+}
+
+// Presets returns well-known model shapes plus the paper's sweep points.
+func Presets() []Preset {
+	mk := func(name string, layers, hidden, heads, seq, maxPos int) Preset {
+		return Preset{Name: name, GPT: GPT{
+			Layers: layers, Hidden: hidden, Heads: heads,
+			SeqLen: seq, MaxPos: maxPos, Vocab: DefaultVocab,
+		}}
+	}
+	paper := func(name string, billions float64) Preset {
+		return Preset{Name: name, GPT: NewGPT(LayersForParams(int64(billions * 1e9)))}
+	}
+	return []Preset{
+		mk("gpt2-small", 12, 768, 12, 1024, 1024),
+		mk("gpt2-medium", 24, 1024, 16, 1024, 1024),
+		mk("gpt2-large", 36, 1280, 20, 1024, 1024),
+		mk("gpt2-xl", 48, 1600, 25, 1024, 1024),
+		mk("gpt3-2.7b", 32, 2560, 32, 2048, 2048),
+		mk("gpt3-6.7b", 32, 4096, 32, 2048, 2048),
+		mk("gpt3-13b", 40, 5120, 40, 2048, 2048),
+		paper("paper-0.7b", 0.7),
+		paper("paper-1.4b", 1.4),
+		paper("paper-5.5b", 5.5),
+		paper("paper-11.4b", 11.4),
+		paper("paper-33.3b", 33.3),
+	}
+}
+
+// PresetByName returns a named preset configuration.
+func PresetByName(name string) (GPT, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p.GPT, true
+		}
+	}
+	return GPT{}, false
+}

@@ -1,0 +1,186 @@
+package nvme
+
+import (
+	"fmt"
+
+	"llmbw/internal/topology"
+)
+
+// Placement is one of the paper's Fig 14 storage layouts: which drives are
+// installed on which socket, how they are grouped into volumes (RAID0 via
+// mdadm, or raw), and which volume each GPU rank's DeepSpeed aio path maps
+// to (the paper uses UNIX soft links to spread ranks across volumes).
+type Placement struct {
+	Name    string
+	Drives  []topology.DriveSpec
+	Volumes [][]int // drive indices per volume
+	RankVol []int   // volume index for each of the 4 GPU ranks
+}
+
+// Validate reports structural problems.
+func (p Placement) Validate() error {
+	if len(p.RankVol) != topology.GPUsPerNode {
+		return fmt.Errorf("nvme: placement %s maps %d ranks, want %d", p.Name, len(p.RankVol), topology.GPUsPerNode)
+	}
+	used := make(map[int]bool)
+	for vi, vol := range p.Volumes {
+		if len(vol) == 0 {
+			return fmt.Errorf("nvme: placement %s volume %d empty", p.Name, vi)
+		}
+		for _, di := range vol {
+			if di < 0 || di >= len(p.Drives) {
+				return fmt.Errorf("nvme: placement %s volume %d references drive %d", p.Name, vi, di)
+			}
+			if used[di] {
+				return fmt.Errorf("nvme: placement %s drive %d in multiple volumes", p.Name, di)
+			}
+			used[di] = true
+		}
+	}
+	for r, v := range p.RankVol {
+		if v < 0 || v >= len(p.Volumes) {
+			return fmt.Errorf("nvme: placement %s rank %d maps to missing volume %d", p.Name, r, v)
+		}
+	}
+	return nil
+}
+
+// Build instantiates the drives and volumes on a cluster whose topology was
+// created with this placement's drive specs.
+func (p Placement) Build(c *topology.Cluster) []*Volume {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	drives := make([]*Drive, len(p.Drives))
+	for i, spec := range p.Drives {
+		drives[i] = NewDrive(c, spec)
+	}
+	vols := make([]*Volume, len(p.Volumes))
+	for vi, members := range p.Volumes {
+		v := &Volume{Name: fmt.Sprintf("%s/vol%d", p.Name, vi)}
+		for _, di := range members {
+			v.Drives = append(v.Drives, drives[di])
+		}
+		vols[vi] = v
+	}
+	return vols
+}
+
+// VolumeForRank returns the volume a rank writes to, given built volumes.
+func (p Placement) VolumeForRank(vols []*Volume, rank int) *Volume {
+	return vols[p.RankVol[rank]]
+}
+
+func drive(socket, slot int) topology.DriveSpec {
+	return topology.DriveSpec{Node: 0, Socket: socket, Slot: slot}
+}
+
+// The seven configurations of Fig 14. Ranks 0,1 are the GPUs on socket 0;
+// ranks 2,3 on socket 1.
+
+// ConfigA: one drive on CPU #1; every rank shares it.
+func ConfigA() Placement {
+	return Placement{
+		Name:    "A",
+		Drives:  []topology.DriveSpec{drive(1, 0)},
+		Volumes: [][]int{{0}},
+		RankVol: []int{0, 0, 0, 0},
+	}
+}
+
+// ConfigB: two drives on CPU #1 in RAID0 (the paper's default scratch).
+func ConfigB() Placement {
+	return Placement{
+		Name:    "B",
+		Drives:  []topology.DriveSpec{drive(1, 0), drive(1, 1)},
+		Volumes: [][]int{{0, 1}},
+		RankVol: []int{0, 0, 0, 0},
+	}
+}
+
+// ConfigC: two drives, one per CPU, in a single RAID0 spanning sockets.
+func ConfigC() Placement {
+	return Placement{
+		Name:    "C",
+		Drives:  []topology.DriveSpec{drive(0, 0), drive(1, 0)},
+		Volumes: [][]int{{0, 1}},
+		RankVol: []int{0, 0, 0, 0},
+	}
+}
+
+// ConfigD: two drives, one per CPU, no RAID; ranks use their local drive.
+func ConfigD() Placement {
+	return Placement{
+		Name:    "D",
+		Drives:  []topology.DriveSpec{drive(0, 0), drive(1, 0)},
+		Volumes: [][]int{{0}, {1}},
+		RankVol: []int{0, 0, 1, 1},
+	}
+}
+
+// ConfigE: four drives (two per CPU) in one RAID0 spanning sockets.
+func ConfigE() Placement {
+	return Placement{
+		Name: "E",
+		Drives: []topology.DriveSpec{
+			drive(0, 0), drive(0, 1), drive(1, 0), drive(1, 1),
+		},
+		Volumes: [][]int{{0, 1, 2, 3}},
+		RankVol: []int{0, 0, 0, 0},
+	}
+}
+
+// ConfigF: four drives, two RAID0 volumes (one per CPU), ranks local.
+func ConfigF() Placement {
+	return Placement{
+		Name: "F",
+		Drives: []topology.DriveSpec{
+			drive(0, 0), drive(0, 1), drive(1, 0), drive(1, 1),
+		},
+		Volumes: [][]int{{0, 1}, {2, 3}},
+		RankVol: []int{0, 0, 1, 1},
+	}
+}
+
+// ConfigG: four drives, no RAID; each rank gets its own local drive.
+func ConfigG() Placement {
+	return Placement{
+		Name: "G",
+		Drives: []topology.DriveSpec{
+			drive(0, 0), drive(0, 1), drive(1, 0), drive(1, 1),
+		},
+		Volumes: [][]int{{0}, {1}, {2}, {3}},
+		RankVol: []int{0, 1, 2, 3},
+	}
+}
+
+// ConfigH is the paper's closing recommendation taken literally: populate
+// all eight NVMe slots (four per socket) and give each GPU rank a local
+// two-drive RAID0 volume. Not measured in the paper ("if all eight slots are
+// populated, the throughput will potentially be comparable to CPU offload").
+func ConfigH() Placement {
+	return Placement{
+		Name: "H",
+		Drives: []topology.DriveSpec{
+			drive(0, 0), drive(0, 1), drive(0, 2), drive(0, 3),
+			drive(1, 0), drive(1, 1), drive(1, 2), drive(1, 3),
+		},
+		Volumes: [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}},
+		RankVol: []int{0, 1, 2, 3},
+	}
+}
+
+// AllConfigs returns A–G in order.
+func AllConfigs() []Placement {
+	return []Placement{ConfigA(), ConfigB(), ConfigC(), ConfigD(), ConfigE(), ConfigF(), ConfigG()}
+}
+
+// ConfigByName returns a named placement (A-G, plus the extension H).
+func ConfigByName(name string) (Placement, error) {
+	for _, p := range append(AllConfigs(), ConfigH()) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Placement{}, fmt.Errorf("nvme: unknown placement %q", name)
+}

@@ -1,0 +1,187 @@
+// Package report holds the paper's published numbers as structured reference
+// data, plus the text-table rendering used by the experiment harness to
+// print regenerated tables and figures side by side with the paper's values.
+package report
+
+// PaperConfig identifies a training configuration row as the paper labels it.
+type PaperConfig string
+
+// Configuration labels used across the paper's tables.
+const (
+	CfgDDP      PaperConfig = "PyTorch DDP"
+	CfgMegatron PaperConfig = "Megatron-LM"
+	CfgZeRO1    PaperConfig = "ZeRO-1"
+	CfgZeRO2    PaperConfig = "ZeRO-2"
+	CfgZeRO3    PaperConfig = "ZeRO-3"
+	CfgZeRO1CPU PaperConfig = "ZeRO-1 (CPU)"
+	CfgZeRO2CPU PaperConfig = "ZeRO-2 (CPU)"
+	CfgZeRO3CPU PaperConfig = "ZeRO-3 (CPU)"
+	CfgInfOpt1  PaperConfig = "ZeRO-3 (1xNVMe opt)"
+	CfgInfAll1  PaperConfig = "ZeRO-3 (1xNVMe opt+param)"
+	CfgInfOpt2  PaperConfig = "ZeRO-3 (2xNVMe opt)"
+	CfgInfAll2  PaperConfig = "ZeRO-3 (2xNVMe opt+param)"
+)
+
+// Fig6ModelSizeB is the achieved model size in billions of parameters
+// (Fig 6): [configuration][nodes-1].
+var Fig6ModelSizeB = map[PaperConfig][2]float64{
+	CfgDDP:      {1.4, 1.4},
+	CfgMegatron: {5.5, 11.4},
+	CfgZeRO1:    {4.4, 6.4},
+	CfgZeRO2:    {5.2, 8.5},
+	CfgZeRO3:    {6.6, 13.5},
+}
+
+// Fig7ThroughputTFLOPs is the attained compute throughput (Fig 7):
+// [configuration][nodes-1].
+var Fig7ThroughputTFLOPs = map[PaperConfig][2]float64{
+	CfgDDP:      {438, 640},
+	CfgMegatron: {331, 121},
+	CfgZeRO1:    {391, 395},
+	CfgZeRO2:    {524, 424},
+	CfgZeRO3:    {381, 458},
+}
+
+// Fig5IterationMs is the single-iteration time for the 1.4 B model (Fig 5).
+var Fig5IterationMs = map[PaperConfig]float64{
+	CfgDDP:      471,
+	CfgMegatron: 736,
+	CfgZeRO1:    412,
+	CfgZeRO2:    404,
+	CfgZeRO3:    696,
+	CfgZeRO1CPU: 1380,
+	CfgZeRO2CPU: 1220,
+	CfgInfOpt2:  5200,
+	CfgInfAll2:  5900,
+}
+
+// BandwidthRow is one Table IV row: avg/90th/peak per interconnect, GB/s.
+type BandwidthRow struct {
+	DRAM, XGMI, PCIeGPU, PCIeNVME, PCIeNIC, NVLink, RoCE [3]float64
+}
+
+// Table4SingleNode holds the paper's single-node bandwidth rows.
+var Table4SingleNode = map[PaperConfig]BandwidthRow{
+	CfgDDP:      {DRAM: [3]float64{1.56, 2.33, 3.31}, XGMI: [3]float64{0.23, 0.77, 0.96}, PCIeGPU: [3]float64{0.61, 1.86, 3.16}, NVLink: [3]float64{83.0, 94.8, 94.8}},
+	CfgMegatron: {DRAM: [3]float64{3.52, 4.32, 5.08}, XGMI: [3]float64{0.18, 0.20, 0.33}, PCIeGPU: [3]float64{2.01, 2.72, 2.82}, NVLink: [3]float64{241, 261, 267}},
+	CfgZeRO1:    {DRAM: [3]float64{1.86, 3.73, 5.64}, XGMI: [3]float64{0.94, 2.75, 5.56}, PCIeGPU: [3]float64{6.36, 15.1, 16.6}, NVLink: [3]float64{111, 147, 147}},
+	CfgZeRO2:    {DRAM: [3]float64{1.99, 3.11, 9.99}, XGMI: [3]float64{0.42, 0.79, 3.67}, PCIeGPU: [3]float64{1.03, 2.89, 7.53}, NVLink: [3]float64{97.3, 117, 117}},
+	CfgZeRO3:    {DRAM: [3]float64{2.69, 3.33, 7.72}, XGMI: [3]float64{0.37, 0.54, 2.85}, PCIeGPU: [3]float64{1.56, 2.44, 6.22}, NVLink: [3]float64{99.7, 109, 121}},
+}
+
+// Table4DualNode holds the paper's dual-node bandwidth rows.
+var Table4DualNode = map[PaperConfig]BandwidthRow{
+	CfgDDP:      {DRAM: [3]float64{2.08, 4.51, 5.50}, XGMI: [3]float64{5.22, 9.63, 15.6}, PCIeGPU: [3]float64{11.2, 31.5, 50.1}, PCIeNIC: [3]float64{6.07, 12, 18.1}, NVLink: [3]float64{60.2, 63.2, 63.2}, RoCE: [3]float64{9.28, 10.7, 10.7}},
+	CfgMegatron: {DRAM: [3]float64{2.88, 3.69, 6.21}, XGMI: [3]float64{7.29, 7.56, 7.70}, PCIeGPU: [3]float64{16.9, 17.5, 18.2}, PCIeNIC: [3]float64{9.06, 9.36, 9.60}, NVLink: [3]float64{88.3, 91.3, 95.8}, RoCE: [3]float64{13.8, 14.3, 14.4}},
+	CfgZeRO1:    {DRAM: [3]float64{2.79, 5.70, 8.81}, XGMI: [3]float64{6.35, 11.9, 20.2}, PCIeGPU: [3]float64{18.2, 38.4, 62.9}, PCIeNIC: [3]float64{6.64, 12.4, 22.6}, NVLink: [3]float64{52.7, 96.9, 107}, RoCE: [3]float64{10.5, 16.7, 19.8}},
+	CfgZeRO2:    {DRAM: [3]float64{1.73, 2.82, 5.61}, XGMI: [3]float64{6.11, 12.3, 16.9}, PCIeGPU: [3]float64{15.8, 27.9, 32.4}, PCIeNIC: [3]float64{7.08, 12.5, 17.8}, NVLink: [3]float64{34.3, 49.8, 58.2}, RoCE: [3]float64{10.5, 15.5, 16.9}},
+	CfgZeRO3:    {DRAM: [3]float64{3.86, 7.04, 10.4}, XGMI: [3]float64{10.4, 14.2, 16.3}, PCIeGPU: [3]float64{20.5, 27.3, 30.9}, PCIeNIC: [3]float64{10.9, 14.0, 15.6}, NVLink: [3]float64{52.2, 58.8, 61.9}, RoCE: [3]float64{16.3, 18.5, 19.7}},
+}
+
+// Table4Offload holds the consolidation/offload bandwidth rows (single
+// node, 11.4 B model unless noted).
+var Table4Offload = map[PaperConfig]BandwidthRow{
+	CfgZeRO2CPU: {DRAM: [3]float64{73.1, 157, 191}, XGMI: [3]float64{18.1, 29.8, 41.8}, PCIeGPU: [3]float64{16.4, 30.8, 47.8}, NVLink: [3]float64{40.8, 127, 127}},
+	CfgZeRO3CPU: {DRAM: [3]float64{67.8, 162, 215}, XGMI: [3]float64{10.3, 25.2, 38.6}, PCIeGPU: [3]float64{12.9, 20.5, 42.3}, NVLink: [3]float64{31.0, 57.2, 123}},
+	CfgInfOpt1:  {DRAM: [3]float64{15.1, 25.2, 130}, XGMI: [3]float64{2.28, 7.18, 40.8}, PCIeGPU: [3]float64{1.53, 1.1, 30.3}, PCIeNVME: [3]float64{0.29, 0.02, 13.9}, NVLink: [3]float64{6.72, 2.3, 109}},
+	CfgInfAll1:  {DRAM: [3]float64{10.6, 19.1, 98.0}, XGMI: [3]float64{3.20, 6.60, 22.7}, PCIeGPU: [3]float64{1.86, 8.0, 28.9}, PCIeNVME: [3]float64{0.48, 2.02, 11.8}, NVLink: [3]float64{3.78, 0.0, 54.8}},
+	CfgInfOpt2:  {DRAM: [3]float64{23.6, 83.7, 142}, XGMI: [3]float64{3.87, 16.6, 34.7}, PCIeGPU: [3]float64{3.21, 16.5, 50.9}, PCIeNVME: [3]float64{3.13, 6.14, 6.32}, NVLink: [3]float64{10.1, 64.1, 128}},
+	CfgInfAll2:  {DRAM: [3]float64{15.9, 32.1, 94.1}, XGMI: [3]float64{3.93, 10.3, 33.2}, PCIeGPU: [3]float64{3.30, 16.9, 31.6}, PCIeNVME: [3]float64{4.87, 12.2, 12.6}, NVLink: [3]float64{7.19, 46.7, 63.5}},
+}
+
+// Fig11 consolidation of the 11.4 B model: throughput (TFLOP/s) and memory
+// composition (GB).
+type ConsolidationRef struct {
+	TFLOPs               float64
+	GPUGB, CPUGB, NVMeGB float64
+}
+
+// Fig11Consolidation holds the paper's consolidation results.
+var Fig11Consolidation = map[PaperConfig]ConsolidationRef{
+	CfgMegatron: {TFLOPs: 121, GPUGB: 308, CPUGB: 36},
+	CfgZeRO2CPU: {TFLOPs: 191, GPUGB: 127, CPUGB: 353},
+	CfgZeRO3CPU: {TFLOPs: 126, GPUGB: 157, CPUGB: 295},
+	CfgInfOpt1:  {TFLOPs: 20.4, GPUGB: 108, CPUGB: 317, NVMeGB: 129},
+	CfgInfAll1:  {TFLOPs: 15.8, GPUGB: 52, CPUGB: 488, NVMeGB: 150},
+	CfgInfOpt2:  {TFLOPs: 38.1, GPUGB: 108, CPUGB: 317, NVMeGB: 129},
+	CfgInfAll2:  {TFLOPs: 24.5, GPUGB: 52, CPUGB: 488, NVMeGB: 150},
+}
+
+// Fig13Largest holds the largest single-node models with offload (Fig 13).
+var Fig13Largest = map[PaperConfig]struct {
+	SizeB                float64
+	TFLOPs               float64
+	GPUGB, CPUGB, NVMeGB float64
+}{
+	CfgZeRO1CPU: {SizeB: 8.9, TFLOPs: 155.3, GPUGB: 161, CPUGB: 297},
+	CfgZeRO2CPU: {SizeB: 14.2, TFLOPs: 180.2, GPUGB: 158, CPUGB: 419},
+	CfgInfOpt2:  {SizeB: 33.3, TFLOPs: 37.16, GPUGB: 158, CPUGB: 611, NVMeGB: 375},
+}
+
+// Table5Sensitivity is throughput vs model size (billion params → TFLOP/s).
+var Table5Sensitivity = map[PaperConfig]map[float64]float64{
+	CfgDDP:      {0.7: 379, 1.4: 438},
+	CfgMegatron: {0.7: 270, 1.4: 309, 2.9: 312, 4.4: 315, 5.2: 324, 5.5: 331},
+	CfgZeRO1:    {0.7: 419, 1.4: 461, 2.9: 487, 4.4: 391},
+	CfgZeRO2:    {0.7: 427, 1.4: 472, 2.9: 502, 4.4: 509, 5.2: 524},
+	CfgZeRO3:    {0.7: 377, 1.4: 392, 2.9: 385, 4.4: 389, 5.2: 379, 5.5: 385, 6.0: 382, 6.6: 381},
+	CfgZeRO1CPU: {0.7: 145, 1.4: 165, 2.9: 148, 4.4: 167, 5.2: 150, 5.5: 168, 6.0: 164, 6.6: 163, 7.8: 158, 8.9: 155},
+	CfgZeRO2CPU: {0.7: 164, 1.4: 177, 2.9: 191, 4.4: 179, 5.2: 182, 5.5: 182, 6.0: 192, 6.6: 182, 7.8: 192, 8.9: 192, 11.6: 174, 14.2: 180},
+	CfgInfOpt2:  {0.7: 39, 1.4: 37, 2.9: 39, 4.4: 38, 5.2: 38, 5.5: 38, 6.0: 38, 6.6: 38, 7.8: 37, 8.9: 38, 11.6: 36, 14.2: 36, 20.6: 36, 26.9: 34, 33.3: 37},
+}
+
+// Table6NvmePlacement: configuration letter → throughput and xGMI/PCIe-NVMe
+// bandwidth (avg, 90th, peak) for the 33.3 B ZeRO-Infinity run.
+var Table6NvmePlacement = map[string]struct {
+	TFLOPs   float64
+	XGMI     [3]float64
+	PCIeNVMe [3]float64
+}{
+	"A": {19.6, [3]float64{2.94, 5.01, 74.4}, [3]float64{3.23, 6.16, 6.41}},
+	"B": {37.16, [3]float64{7.63, 32.9, 71.0}, [3]float64{6.5, 11.9, 12.6}},
+	"C": {35.43, [3]float64{8.14, 41.4, 75.3}, [3]float64{6.18, 12.1, 12.7}},
+	"D": {40.22, [3]float64{4.89, 15.2, 52.2}, [3]float64{6.98, 12.7, 12.9}},
+	"E": {51.22, [3]float64{9.58, 26.6, 84.5}, [3]float64{7.1, 10.8, 13.5}},
+	"F": {64.61, [3]float64{7.35, 17.6, 65.7}, [3]float64{11.2, 19.5, 21.8}},
+	"G": {65.16, [3]float64{7.81, 25.6, 69.2}, [3]float64{11.4, 21.1, 22.4}},
+}
+
+// Fig4Stress: scenario → attained fraction of RoCE theoretical.
+var Fig4Stress = map[string]float64{
+	"CPU-RoCE same-socket":  0.93,
+	"CPU-RoCE cross-socket": 0.47,
+	"GPU-RoCE same-socket":  0.52,
+	"GPU-RoCE cross-socket": 0.42,
+}
+
+// Fig3Latency: bounds for small messages (<64 kB), microseconds.
+var Fig3Latency = struct {
+	SameSocketMaxUs  float64
+	CrossSocketMaxUs float64
+}{6, 40}
+
+// Fig1Trend is the LLM-size-versus-GPU-memory survey the introduction plots.
+type Fig1Point struct {
+	Year  int
+	Name  string
+	Value float64 // billion params for models, GB for GPUs
+	IsGPU bool
+}
+
+// Fig1Trend holds representative points of the paper's Fig 1.
+var Fig1Trend = []Fig1Point{
+	{2018, "ELMo", 0.094, false},
+	{2018, "BERT-Large", 0.34, false},
+	{2019, "GPT-2", 1.5, false},
+	{2019, "Megatron-LM", 8.3, false},
+	{2020, "T5", 11, false},
+	{2020, "Turing-NLG", 17, false},
+	{2020, "GPT-3", 175, false},
+	{2021, "Megatron-Turing NLG", 530, false},
+	{2023, "GPT-4 (est.)", 1760, false},
+	{2017, "Tesla V100", 16, true},
+	{2018, "Tesla V100 32GB", 32, true},
+	{2020, "A100 40GB", 40, true},
+	{2020, "A100 80GB", 80, true},
+	{2023, "H100 80GB", 80, true},
+}

@@ -1,0 +1,152 @@
+// Package sim provides a deterministic discrete-event simulation engine with
+// cooperative processes. It is the substrate on which the cluster fabric,
+// training strategies and stress tests run.
+//
+// The engine owns a virtual clock measured in nanoseconds. Events are
+// callbacks scheduled at absolute virtual times and executed in (time, seq)
+// order, so runs are fully deterministic. Processes (Proc) are goroutines
+// that interleave cooperatively with the event loop: at any moment either the
+// engine or exactly one process is running, which keeps the simulation
+// race-free without locks in model code.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp or duration in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a floating-point number of seconds to a Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// ToSeconds converts t to floating-point seconds.
+func (t Time) ToSeconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time with a human-friendly unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.ToSeconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    int64
+
+	// ctl is signalled by a process whenever it blocks or terminates,
+	// returning control to the event loop.
+	ctl chan struct{}
+
+	procs   int // live processes (for leak detection)
+	stopped bool
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{ctl: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// ScheduleAt registers fn to run at absolute virtual time t. Scheduling in
+// the past panics: it would make the clock non-monotonic.
+func (e *Engine) ScheduleAt(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Schedule registers fn to run delay nanoseconds from now.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events are
+// kept; a subsequent Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(1<<62 - 1) }
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline if it advanced that far. It returns the final virtual time.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < deadline && len(e.events) == 0 {
+		// Clock does not jump to deadline when the simulation simply
+		// ran out of work; callers can distinguish the two outcomes.
+		return e.now
+	}
+	return e.now
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs reports the number of processes that have started and not yet
+// returned. A nonzero value after Run means processes are deadlocked waiting
+// for wakeups that never came.
+func (e *Engine) LiveProcs() int { return e.procs }

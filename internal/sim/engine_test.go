@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{Seconds(1.5), "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	if got := Seconds(2.5).ToSeconds(); got != 2.5 {
+		t.Fatalf("round trip = %v, want 2.5", got)
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, d := range []Time{30, 10, 20, 10} {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameTimeEventsRunInScheduleOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(100, func() { fired++ })
+	end := e.RunUntil(50)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if end != 50 {
+		t.Errorf("end = %v, want 50", end)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Errorf("after full run fired = %d, want 2", fired)
+	}
+}
+
+func TestRunReturnsLastEventTime(t *testing.T) {
+	e := New()
+	e.Schedule(42, func() {})
+	if end := e.Run(); end != 42 {
+		t.Errorf("end = %v, want 42", end)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(1, func() { fired++; e.Stop() })
+	e.Schedule(2, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 after Stop", fired)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var times []Time
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v, want [10 15]", times)
+	}
+}
+
+// Property: for any set of random delays, events execute in sorted order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var got []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { got = append(got, e.Now()) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	e := New()
+	var woke Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 100 {
+		t.Errorf("woke at %v, want 100", woke)
+	}
+	if e.LiveProcs() != 0 {
+		t.Errorf("live procs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(10)
+					log = append(log, name)
+				}
+			})
+		}
+		e.Run()
+		return log
+	}
+	first := run()
+	if len(first) != 9 {
+		t.Fatalf("log has %d entries, want 9", len(first))
+	}
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestAwaitSynchronousResume(t *testing.T) {
+	e := New()
+	done := false
+	e.Go("p", func(p *Proc) {
+		p.Await(func(resume func()) { resume() })
+		done = true
+	})
+	e.Run()
+	if !done {
+		t.Error("process did not survive synchronous resume")
+	}
+}
+
+func TestAwaitAsynchronousResume(t *testing.T) {
+	e := New()
+	var at Time
+	e.Go("p", func(p *Proc) {
+		p.Await(func(resume func()) { e.Schedule(77, resume) })
+		at = p.Now()
+	})
+	e.Run()
+	if at != 77 {
+		t.Errorf("resumed at %v, want 77", at)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := New()
+	var wg WaitGroup
+	wg.Add(3)
+	var doneAt Time
+	for i := 1; i <= 3; i++ {
+		d := Time(i * 10)
+		e.Go("worker", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	e.Run()
+	if doneAt != 30 {
+		t.Errorf("waiter resumed at %v, want 30", doneAt)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	e := New()
+	ok := false
+	var wg WaitGroup
+	e.Go("p", func(p *Proc) {
+		wg.Wait(p)
+		ok = true
+	})
+	e.Run()
+	if !ok {
+		t.Error("Wait on zero WaitGroup blocked")
+	}
+}
+
+func TestBarrierSynchronizesAll(t *testing.T) {
+	e := New()
+	b := &Barrier{N: 4}
+	var resumed []Time
+	for i := 0; i < 4; i++ {
+		d := Time((i + 1) * 10)
+		e.Go("p", func(p *Proc) {
+			p.Sleep(d)
+			b.Wait(p)
+			resumed = append(resumed, p.Now())
+		})
+	}
+	e.Run()
+	if len(resumed) != 4 {
+		t.Fatalf("resumed %d procs, want 4", len(resumed))
+	}
+	for _, at := range resumed {
+		if at != 40 {
+			t.Errorf("proc resumed at %v, want 40 (last arrival)", at)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossRounds(t *testing.T) {
+	e := New()
+	b := &Barrier{N: 2}
+	rounds := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			for r := 0; r < 3; r++ {
+				p.Sleep(Time(i + 1))
+				b.Wait(p)
+				rounds[i]++
+			}
+		})
+	}
+	e.Run()
+	if rounds[0] != 3 || rounds[1] != 3 {
+		t.Errorf("rounds = %v, want [3 3]", rounds)
+	}
+}
+
+func TestRendezvousLeaderRunsOnce(t *testing.T) {
+	e := New()
+	r := &Rendezvous{N: 3}
+	leaders := 0
+	var resumedAt []Time
+	for i := 0; i < 3; i++ {
+		e.Go("p", func(p *Proc) {
+			r.Do(p, func(done func()) {
+				leaders++
+				e.Schedule(50, done)
+			})
+			resumedAt = append(resumedAt, p.Now())
+		})
+	}
+	e.Run()
+	if leaders != 1 {
+		t.Errorf("leader ran %d times, want 1", leaders)
+	}
+	for _, at := range resumedAt {
+		if at != 50 {
+			t.Errorf("party resumed at %v, want 50", at)
+		}
+	}
+}
+
+func TestRendezvousSingleParty(t *testing.T) {
+	e := New()
+	r := &Rendezvous{N: 1}
+	var at Time
+	e.Go("p", func(p *Proc) {
+		r.Do(p, func(done func()) { e.Schedule(9, done) })
+		at = p.Now()
+	})
+	e.Run()
+	if at != 9 {
+		t.Errorf("resumed at %v, want 9", at)
+	}
+}
+
+func TestRendezvousReusable(t *testing.T) {
+	e := New()
+	r := &Rendezvous{N: 2}
+	count := 0
+	for i := 0; i < 2; i++ {
+		e.Go("p", func(p *Proc) {
+			for round := 0; round < 4; round++ {
+				r.Do(p, func(done func()) {
+					count++
+					e.Schedule(1, done)
+				})
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Errorf("leader ran %d times, want 4", count)
+	}
+}
+
+func TestManyProcsStress(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(1))
+	total := 0
+	for i := 0; i < 100; i++ {
+		n := 1 + rng.Intn(20)
+		e.Go("p", func(p *Proc) {
+			for j := 0; j < n; j++ {
+				p.Sleep(Time(1 + rng.Intn(1000)))
+			}
+			total++
+		})
+	}
+	e.Run()
+	if total != 100 {
+		t.Errorf("completed %d procs, want 100", total)
+	}
+	if e.LiveProcs() != 0 {
+		t.Errorf("leaked %d procs", e.LiveProcs())
+	}
+}

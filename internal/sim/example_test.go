@@ -1,0 +1,27 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"llmbw/internal/sim"
+)
+
+// Two processes coordinate through a barrier in virtual time.
+func Example() {
+	eng := sim.New()
+	b := &sim.Barrier{N: 2}
+	for i, d := range []sim.Time{10 * sim.Millisecond, 30 * sim.Millisecond} {
+		i, d := i, d
+		eng.Go(fmt.Sprintf("worker%d", i), func(p *sim.Proc) {
+			p.Sleep(d)
+			b.Wait(p)
+			fmt.Printf("worker%d resumed at %v\n", i, p.Now())
+		})
+	}
+	eng.Run()
+	// The last arrival (worker1) releases the barrier and continues first;
+	// earlier arrivals resume on the next scheduler tick.
+	// Output:
+	// worker1 resumed at 30.000ms
+	// worker0 resumed at 30.000ms
+}

@@ -1,0 +1,209 @@
+package sim
+
+import "fmt"
+
+// Proc is a cooperative simulation process. A Proc runs on its own goroutine
+// but is strictly interleaved with the event loop: whenever the Proc is
+// executing, the engine is paused, and vice versa. All blocking operations
+// (Sleep, Await, rendezvous) hand control back to the engine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Go starts a new process running body. It may be called before Run or from
+// within an event or another process; the new process begins executing at the
+// current virtual time, after the caller yields.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	e.Schedule(0, func() {
+		go func() {
+			defer func() {
+				e.procs--
+				e.ctl <- struct{}{}
+			}()
+			<-p.resume
+			body(p)
+		}()
+		p.transfer()
+	})
+	return p
+}
+
+// transfer hands control to p and waits until it blocks or terminates. Must
+// be called from engine context (inside an event callback).
+func (p *Proc) transfer() {
+	p.resume <- struct{}{}
+	<-p.eng.ctl
+}
+
+// block suspends the process until something calls transfer on it. Must be
+// called from process context.
+func (p *Proc) block() {
+	p.eng.ctl <- struct{}{}
+	<-p.resume
+}
+
+// Wakeup resumes a blocked process from engine context (e.g. inside a
+// scheduled event). Calling it while the process is running panics upstream
+// via channel misuse, which indicates a model bug.
+func (p *Proc) wakeup() { p.transfer() }
+
+// Await calls start with a resume function, then blocks until that function
+// is invoked. The resume function must be called exactly once, either
+// synchronously from start itself or later from engine context (an event
+// callback). This is the bridge between the process world and callback-style
+// completions such as network flows.
+func (p *Proc) Await(start func(resume func())) {
+	fired := false
+	blocked := false
+	start(func() {
+		if !blocked {
+			// Completed synchronously before the process blocked;
+			// no context switch is needed.
+			fired = true
+			return
+		}
+		p.wakeup()
+	})
+	if fired {
+		return
+	}
+	blocked = true
+	p.block()
+}
+
+// Sleep suspends the process for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.Await(func(resume func()) { p.eng.Schedule(d, resume) })
+}
+
+// Yield reschedules the process at the current time, letting other events and
+// processes with the same timestamp run first.
+func (p *Proc) Yield() {
+	p.Await(func(resume func()) { p.eng.Schedule(0, resume) })
+}
+
+// WaitGroup is a completion counter for processes, analogous to
+// sync.WaitGroup but driven by virtual time.
+type WaitGroup struct {
+	n       int
+	waiters []func()
+}
+
+// Add increments the counter.
+func (w *WaitGroup) Add(n int) { w.n += n }
+
+// Done decrements the counter; at zero all waiters resume. Must run in
+// process or engine context.
+func (w *WaitGroup) Done() {
+	w.n--
+	if w.n < 0 {
+		panic("sim: WaitGroup counter below zero")
+	}
+	if w.n == 0 {
+		ws := w.waiters
+		w.waiters = nil
+		for _, f := range ws {
+			f()
+		}
+	}
+}
+
+// Wait blocks p until the counter reaches zero. Returns immediately if it is
+// already zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	p.Await(func(resume func()) {
+		w.waiters = append(w.waiters, func() { p.eng.Schedule(0, resume) })
+	})
+}
+
+// Barrier synchronizes a fixed party of processes: each call to Wait blocks
+// until all N parties have arrived, then all resume and the barrier resets
+// for the next round.
+type Barrier struct {
+	N       int
+	arrived int
+	waiting []func()
+}
+
+// Wait blocks until all parties arrive.
+func (b *Barrier) Wait(p *Proc) {
+	if b.N <= 0 {
+		panic("sim: barrier with no parties")
+	}
+	b.arrived++
+	if b.arrived == b.N {
+		b.arrived = 0
+		ws := b.waiting
+		b.waiting = nil
+		for _, f := range ws {
+			p.eng.Schedule(0, f)
+		}
+		return
+	}
+	p.Await(func(resume func()) {
+		b.waiting = append(b.waiting, resume)
+	})
+}
+
+// Rendezvous coordinates a leader-executed collective action among N
+// processes: every party calls Do; the last arrival runs leader with a done
+// callback, and when done fires all parties resume. This models operations
+// (e.g. NCCL collectives) where all ranks participate but the simulation only
+// needs to drive the flows once.
+type Rendezvous struct {
+	N       int
+	arrived int
+	waiting []func()
+}
+
+// Do blocks p until all N parties arrive; the final arrival invokes
+// leader(done). All parties resume when done is called (from engine context).
+func (r *Rendezvous) Do(p *Proc, leader func(done func())) {
+	if r.N <= 0 {
+		panic("sim: rendezvous with no parties")
+	}
+	if r.N == 1 {
+		p.Await(leader)
+		return
+	}
+	r.arrived++
+	if r.arrived < r.N {
+		p.Await(func(resume func()) {
+			r.waiting = append(r.waiting, resume)
+		})
+		return
+	}
+	r.arrived = 0
+	p.Await(func(resume func()) {
+		waiters := r.waiting
+		r.waiting = nil
+		leader(func() {
+			for _, f := range waiters {
+				p.eng.Schedule(0, f)
+			}
+			resume()
+		})
+	})
+}

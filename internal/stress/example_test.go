@@ -1,0 +1,20 @@
+package stress_test
+
+import (
+	"fmt"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/sim"
+	"llmbw/internal/stress"
+)
+
+// Reproduce the paper's headline stress result: same-socket GPUDirect RDMA
+// attains only about half of theoretical because PCIe↔PCIe traffic crosses
+// the EPYC I/O-die crossbar.
+func Example() {
+	res := stress.GPURoCEStress(false, 5*sim.Second)
+	fmt.Printf("GPU-RoCE same-socket: %.0f%% of theoretical\n",
+		res.AttainedFraction(fabric.RoCE)*100)
+	// Output:
+	// GPU-RoCE same-socket: 52% of theoretical
+}

@@ -1,0 +1,163 @@
+package stress
+
+import (
+	"testing"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/sim"
+	"llmbw/internal/topology"
+)
+
+func TestFig3LatencySmallMessages(t *testing.T) {
+	c := topology.New(topology.DefaultConfig(2))
+	// Paper: same-socket under 6 µs, cross-socket under 40 µs (~7x) for
+	// messages below 64 kB.
+	for _, v := range []Verb{Send, Read, Write} {
+		same := Latency(c, v, false, 64<<10)
+		cross := Latency(c, v, true, 64<<10)
+		if same > 10*sim.Microsecond {
+			t.Errorf("%v same-socket 64kB latency = %v, want <10µs", v, same)
+		}
+		if cross > 45*sim.Microsecond {
+			t.Errorf("%v cross-socket 64kB latency = %v, want <45µs", v, cross)
+		}
+		if ratio := float64(cross) / float64(same); ratio < 3 {
+			t.Errorf("%v cross/same = %.1fx, paper reports ~7x", v, ratio)
+		}
+	}
+}
+
+func TestFig3LatencyGrowsWithMessageSize(t *testing.T) {
+	c := topology.New(topology.DefaultConfig(2))
+	small := Latency(c, Send, false, 2)
+	big := Latency(c, Send, false, 8<<20)
+	if big <= small {
+		t.Error("latency should grow with message size")
+	}
+	// 8 MB at ~23 GB/s ≈ 365 µs dominates the base latency.
+	if big < 300*sim.Microsecond {
+		t.Errorf("8MB send = %v, want serialization-dominated", big)
+	}
+}
+
+func TestFig3ReadSlowerThanWrite(t *testing.T) {
+	c := topology.New(topology.DefaultConfig(2))
+	for _, cross := range []bool{false, true} {
+		r := Latency(c, Read, cross, 256)
+		w := Latency(c, Write, cross, 256)
+		s := Latency(c, Send, cross, 256)
+		if r <= s || r <= w {
+			t.Errorf("cross=%v: READ (%v) should exceed SEND (%v) and WRITE (%v)", cross, r, s, w)
+		}
+		if w > s {
+			t.Errorf("cross=%v: WRITE (%v) should not exceed SEND (%v)", cross, w, s)
+		}
+	}
+}
+
+func TestLatencySweepGrid(t *testing.T) {
+	sizes := DefaultMessageSizes()
+	pts := LatencySweep(sizes)
+	if len(pts) != 3*2*len(sizes) {
+		t.Fatalf("sweep produced %d points, want %d", len(pts), 3*2*len(sizes))
+	}
+	for _, p := range pts {
+		if p.Latency <= 0 {
+			t.Errorf("non-positive latency at %+v", p)
+		}
+	}
+}
+
+func TestFig4CPURoCESameSocketNearTheoretical(t *testing.T) {
+	res := CPURoCEStress(false, 10*sim.Second)
+	frac := res.AttainedFraction(fabric.RoCE)
+	// Paper: 93% of theoretical (46 of 50 GB/s per NIC).
+	if frac < 0.80 {
+		t.Errorf("same-socket CPU-RoCE attained %.0f%%, paper reports 93%%", frac*100)
+	}
+}
+
+func TestFig4CPURoCECrossSocketDegrades(t *testing.T) {
+	res := CPURoCEStress(true, 10*sim.Second)
+	frac := res.AttainedFraction(fabric.RoCE)
+	// Paper: 47% of theoretical.
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("cross-socket CPU-RoCE attained %.0f%%, paper reports 47%%", frac*100)
+	}
+	if res.Stats[fabric.XGMI].Avg == 0 {
+		t.Error("cross-socket stress should load xGMI")
+	}
+}
+
+func TestFig4GPURoCESameSocketDegrades(t *testing.T) {
+	// The paper's surprise: even same-socket GPUDirect only reaches 52%
+	// because PCIe→PCIe crosses the I/O-die crossbar.
+	res := GPURoCEStress(false, 10*sim.Second)
+	frac := res.AttainedFraction(fabric.RoCE)
+	if frac < 0.40 || frac > 0.65 {
+		t.Errorf("same-socket GPU-RoCE attained %.0f%%, paper reports 52%%", frac*100)
+	}
+	if res.Stats[fabric.DRAM].Avg > 5e9 {
+		t.Errorf("GPUDirect should bypass DRAM; avg = %v", res.Stats[fabric.DRAM].Avg)
+	}
+}
+
+func TestFig4GPURoCECrossSocketWorst(t *testing.T) {
+	same := GPURoCEStress(false, 10*sim.Second)
+	cross := GPURoCEStress(true, 10*sim.Second)
+	fs, fc := same.AttainedFraction(fabric.RoCE), cross.AttainedFraction(fabric.RoCE)
+	if fc >= fs {
+		t.Errorf("cross-socket GPU-RoCE (%.0f%%) should be below same-socket (%.0f%%)", fc*100, fs*100)
+	}
+	// Paper: 42%.
+	if fc < 0.25 || fc > 0.55 {
+		t.Errorf("cross-socket GPU-RoCE attained %.0f%%, paper reports 42%%", fc*100)
+	}
+	if cross.Stats[fabric.XGMI].Avg == 0 {
+		t.Error("cross-socket GPUDirect should load xGMI")
+	}
+}
+
+func TestFig4OrderingAcrossScenarios(t *testing.T) {
+	// Attained RoCE fraction ordering: CPU same >> GPU same >= GPU cross,
+	// CPU same >> CPU cross.
+	cpuSame := CPURoCEStress(false, 5*sim.Second).AttainedFraction(fabric.RoCE)
+	cpuCross := CPURoCEStress(true, 5*sim.Second).AttainedFraction(fabric.RoCE)
+	gpuSame := GPURoCEStress(false, 5*sim.Second).AttainedFraction(fabric.RoCE)
+	gpuCross := GPURoCEStress(true, 5*sim.Second).AttainedFraction(fabric.RoCE)
+	if !(cpuSame > gpuSame && gpuSame >= gpuCross && cpuSame > cpuCross) {
+		t.Errorf("ordering violated: cpuSame=%.2f cpuCross=%.2f gpuSame=%.2f gpuCross=%.2f",
+			cpuSame, cpuCross, gpuSame, gpuCross)
+	}
+}
+
+func TestBandwidthResultAccessors(t *testing.T) {
+	res := CPURoCEStress(false, 2*sim.Second)
+	if res.Scenario == "" || res.Duration != 2*sim.Second {
+		t.Error("result metadata wrong")
+	}
+	if res.AttainedFraction(fabric.NVLink) != 0 {
+		t.Error("idle class should report zero fraction")
+	}
+	if res.AttainedFraction(fabric.Class(99)) != 0 {
+		t.Error("unknown class should report zero fraction")
+	}
+}
+
+func TestVerbStrings(t *testing.T) {
+	for _, v := range []Verb{Send, Read, Write, Verb(9)} {
+		if v.String() == "" {
+			t.Errorf("verb %d renders empty", int(v))
+		}
+	}
+}
+
+func TestUnknownVerbPanics(t *testing.T) {
+	c := topology.New(topology.DefaultConfig(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown verb did not panic")
+		}
+	}()
+	Latency(c, Verb(42), false, 1)
+}

@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits aligned bandwidth series as CSV: a time column (seconds)
+// followed by one column per labelled series (GB/s). This is the raw data
+// behind the paper's utilization-pattern figures (Fig 9, 10, 12), ready for
+// external plotting.
+func WriteCSV(w io.Writer, labels []string, series []Series) error {
+	if len(labels) != len(series) {
+		return fmt.Errorf("telemetry: %d labels for %d series", len(labels), len(series))
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("telemetry: no series")
+	}
+	window := series[0].Window
+	n := 0
+	for _, s := range series {
+		if len(s.Rates) > 0 && s.Window != window {
+			return fmt.Errorf("telemetry: mixed windows %v and %v", window, s.Window)
+		}
+		if len(s.Rates) > n {
+			n = len(s.Rates)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"time_s"}, labels...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%.3f", float64(i)*window.ToSeconds()))
+		for _, s := range series {
+			v := 0.0
+			if i < len(s.Rates) {
+				v = s.Rates[i] / GB
+			}
+			row = append(row, fmt.Sprintf("%.4f", v))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

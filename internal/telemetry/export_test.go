@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"llmbw/internal/sim"
+)
+
+func TestWriteCSV(t *testing.T) {
+	a := Series{Window: sim.Second, Rates: []float64{1e9, 2e9}}
+	b := Series{Window: sim.Second, Rates: []float64{3e9}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"NVLink", "RoCE"}, []Series{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 data rows
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0][0] != "time_s" || rows[0][1] != "NVLink" || rows[0][2] != "RoCE" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][1] != "1.0000" || rows[1][2] != "3.0000" {
+		t.Errorf("first data row = %v", rows[1])
+	}
+	// Shorter series zero-padded.
+	if rows[2][2] != "0.0000" {
+		t.Errorf("padding = %v", rows[2])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"x"}, nil); err == nil {
+		t.Error("label/series mismatch accepted")
+	}
+	if err := WriteCSV(&buf, nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	a := Series{Window: sim.Second, Rates: []float64{1}}
+	b := Series{Window: sim.Millisecond, Rates: []float64{1}}
+	if err := WriteCSV(&buf, []string{"a", "b"}, []Series{a, b}); err == nil {
+		t.Error("mixed windows accepted")
+	}
+}

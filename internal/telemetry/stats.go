@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"llmbw/internal/sim"
+)
+
+// GB is the unit the paper reports bandwidth in (decimal gigabytes).
+const GB = 1e9
+
+// Stats summarizes a bandwidth series the way the paper's Table IV does:
+// average, 90th percentile and peak of the sampled rates, in bytes/second.
+type Stats struct {
+	Avg  float64
+	P90  float64
+	Peak float64
+}
+
+// GBps returns the statistic converted to decimal GB/s for display.
+func (s Stats) GBps() (avg, p90, peak float64) {
+	return s.Avg / GB, s.P90 / GB, s.Peak / GB
+}
+
+// String renders the stats in GB/s.
+func (s Stats) String() string {
+	return fmt.Sprintf("avg %.2f / p90 %.2f / peak %.2f GBps",
+		s.Avg/GB, s.P90/GB, s.Peak/GB)
+}
+
+// Add returns element-wise sums; used to aggregate links of one interconnect
+// class. Note that percentile and peak of a sum are approximated by the sum
+// of percentiles/peaks, which is how per-device counters are combined by the
+// paper's per-node aggregation as well.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Avg: s.Avg + o.Avg, P90: s.P90 + o.P90, Peak: s.Peak + o.Peak}
+}
+
+// Series is a fixed-window bandwidth time series in bytes/second.
+type Series struct {
+	Window sim.Time
+	Rates  []float64
+}
+
+// Stats computes average, 90th percentile, and peak over the series. The
+// average is over all windows, including idle ones; this matches a monitor
+// that samples continuously for the whole measurement interval.
+func (s Series) Stats() Stats {
+	if len(s.Rates) == 0 {
+		return Stats{}
+	}
+	sum, peak := 0.0, 0.0
+	for _, r := range s.Rates {
+		sum += r
+		if r > peak {
+			peak = r
+		}
+	}
+	return Stats{
+		Avg:  sum / float64(len(s.Rates)),
+		P90:  s.Percentile(90),
+		Peak: peak,
+	}
+}
+
+// Percentile returns the pth percentile (0..100) of the window rates using
+// nearest-rank on the sorted samples.
+func (s Series) Percentile(p float64) float64 {
+	if len(s.Rates) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.Rates...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Sum returns the element-wise sum of two series, extending to the longer
+// one. Panics if windows differ: summing across sampling rates is a bug.
+func (s Series) Sum(o Series) Series {
+	if len(s.Rates) == 0 {
+		return o
+	}
+	if len(o.Rates) == 0 {
+		return s
+	}
+	if s.Window != o.Window {
+		panic("telemetry: summing series with different windows")
+	}
+	n := len(s.Rates)
+	if len(o.Rates) > n {
+		n = len(o.Rates)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if i < len(s.Rates) {
+			out[i] += s.Rates[i]
+		}
+		if i < len(o.Rates) {
+			out[i] += o.Rates[i]
+		}
+	}
+	return Series{Window: s.Window, Rates: out}
+}
+
+// Duration returns the total time the series covers.
+func (s Series) Duration() sim.Time { return sim.Time(len(s.Rates)) * s.Window }
+
+// Downsample returns a series with windows merged in groups of k (averaging
+// rates), for compact pattern rendering.
+func (s Series) Downsample(k int) Series {
+	if k <= 1 || len(s.Rates) == 0 {
+		return s
+	}
+	out := make([]float64, 0, (len(s.Rates)+k-1)/k)
+	for i := 0; i < len(s.Rates); i += k {
+		end := i + k
+		if end > len(s.Rates) {
+			end = len(s.Rates)
+		}
+		sum := 0.0
+		for _, r := range s.Rates[i:end] {
+			sum += r
+		}
+		out = append(out, sum/float64(end-i))
+	}
+	return Series{Window: s.Window * sim.Time(k), Rates: out}
+}
+
+// Sparkline renders the series as a one-line unicode bar chart scaled to the
+// series peak, used to reproduce the utilization-pattern figures in text.
+func (s Series) Sparkline(width int) string {
+	if len(s.Rates) == 0 || width <= 0 {
+		return ""
+	}
+	ds := s
+	if len(s.Rates) > width {
+		ds = s.Downsample((len(s.Rates) + width - 1) / width)
+	}
+	peak := 0.0
+	for _, r := range ds.Rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	bars := []rune(" ▁▂▃▄▅▆▇█")
+	out := make([]rune, len(ds.Rates))
+	for i, r := range ds.Rates {
+		if peak == 0 {
+			out[i] = bars[0]
+			continue
+		}
+		idx := int(r / peak * float64(len(bars)-1))
+		if idx >= len(bars) {
+			idx = len(bars) - 1
+		}
+		out[i] = bars[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"llmbw/internal/fabric"
+)
+
+// Property: the crossbar rule of Sec III-C4 — a route pays one crossbar per
+// socket where it both enters and leaves through I/O SerDes; DRAM-terminated
+// ends never pay at their own socket.
+func TestCrossbarRuleProperty(t *testing.T) {
+	c := New(DefaultConfig(2))
+	gpuToNIC := func(gi, ns uint8) bool {
+		g := GPU{Node: 0, Index: int(gi) % GPUsPerNode}
+		n := NIC{Node: 0, Socket: int(ns) % SocketsPerNode}
+		r := c.GPUToNIC(g, n)
+		want := 1 // PCIe→PCIe same socket
+		if g.Socket() != n.Socket {
+			want = 2 // PCIe→xGMI + xGMI→PCIe
+		}
+		return countClass(r, fabric.IODXbar) == want
+	}
+	if err := quick.Check(gpuToNIC, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+	cpuToNIC := func(cs, ns uint8) bool {
+		s := int(cs) % SocketsPerNode
+		n := NIC{Node: 0, Socket: int(ns) % SocketsPerNode}
+		r := c.CPUToNIC(0, s, n)
+		want := 0 // DRAM→PCIe
+		if s != n.Socket {
+			want = 1 // xGMI→PCIe at the NIC socket
+		}
+		return countClass(r, fabric.IODXbar) == want
+	}
+	if err := quick.Check(cpuToNIC, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cross-socket routes always include xGMI, same-socket never do.
+func TestXGMIRuleProperty(t *testing.T) {
+	c := New(DefaultConfig(1))
+	f := func(gi, socket uint8) bool {
+		g := GPU{Node: 0, Index: int(gi) % GPUsPerNode}
+		s := int(socket) % SocketsPerNode
+		r := c.GPUToCPU(g, s)
+		hasXGMI := countClass(r, fabric.XGMI) > 0
+		return hasXGMI == (g.Socket() != s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: routes never contain duplicate links, and every link belongs to
+// a node the route touches.
+func TestRouteWellFormedProperty(t *testing.T) {
+	c := New(DefaultConfig(2))
+	check := func(r Route) bool {
+		seen := make(map[*fabric.Link]bool)
+		for _, l := range r.Links {
+			if seen[l] {
+				return false
+			}
+			seen[l] = true
+		}
+		return r.Latency > 0
+	}
+	f := func(a, b uint8) bool {
+		ga := GPU{Node: 0, Index: int(a) % GPUsPerNode}
+		gb := GPU{Node: 1, Index: int(b) % GPUsPerNode}
+		if !check(c.GPUToRemoteGPU(ga, gb)) {
+			return false
+		}
+		if ga.Index != gb.Index {
+			if !check(c.GPUToGPU(ga, GPU{Node: 0, Index: gb.Index})) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countClass(r Route, class fabric.Class) int {
+	n := 0
+	for _, l := range r.Links {
+		if l.Class == class {
+			n++
+		}
+	}
+	return n
+}

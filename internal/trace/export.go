@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one complete event in the Chrome trace-event format
+// (chrome://tracing, Perfetto), the de-facto interchange format for GPU
+// timeline viewers.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Args struct {
+		Kind string `json:"kind"`
+	} `json:"args"`
+}
+
+// WriteChromeTrace serializes the timeline as a Chrome trace-event JSON
+// array: one complete ("X") event per span, one thread lane per GPU rank.
+// Load the output in chrome://tracing or ui.perfetto.dev to get the
+// simulator's equivalent of the paper's Nsight Systems view (Fig 5).
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if !t.Enabled() {
+		return fmt.Errorf("trace: nothing recorded")
+	}
+	lo, _ := t.Window()
+	events := make([]chromeEvent, 0, len(t.spans))
+	for _, s := range t.Spans() {
+		ev := chromeEvent{
+			Name: s.Kind.String(),
+			Ph:   "X",
+			Ts:   float64(s.Start-lo) / 1e3,
+			Dur:  float64(s.Duration()) / 1e3,
+			Pid:  0,
+			Tid:  s.Rank,
+		}
+		ev.Args.Kind = s.Kind.String()
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

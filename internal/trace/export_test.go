@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"llmbw/internal/sim"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New()
+	tr.Add(0, Gemm, 10*sim.Microsecond, 30*sim.Microsecond)
+	tr.Add(1, NCCLAllReduce, 20*sim.Microsecond, 50*sim.Microsecond)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	ev := events[0]
+	if ev["ph"] != "X" {
+		t.Errorf("phase = %v, want X (complete event)", ev["ph"])
+	}
+	if ev["name"] != "GEMM" {
+		t.Errorf("name = %v", ev["name"])
+	}
+	// Timestamps are relative to the trace start, in microseconds.
+	if ts := ev["ts"].(float64); ts != 0 {
+		t.Errorf("first span ts = %v, want 0", ts)
+	}
+	if dur := ev["dur"].(float64); dur != 20 {
+		t.Errorf("dur = %v µs, want 20", dur)
+	}
+	if tid := events[1]["tid"].(float64); tid != 1 {
+		t.Errorf("second span tid = %v, want rank 1", tid)
+	}
+}
+
+func TestWriteChromeTraceEmptyFails(t *testing.T) {
+	var buf bytes.Buffer
+	var nilTrace *Trace
+	if err := nilTrace.WriteChromeTrace(&buf); err == nil {
+		t.Error("nil trace should error")
+	}
+}

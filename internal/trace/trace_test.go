@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"llmbw/internal/sim"
+)
+
+func TestNilAndDisabledTraceSafe(t *testing.T) {
+	var nilT *Trace
+	if nilT.Enabled() {
+		t.Error("nil trace enabled")
+	}
+	nilT.Add(0, Gemm, 0, 1) // must not panic
+	var zero Trace
+	zero.Add(0, Gemm, 0, 1)
+	if len(zero.Spans()) != 0 {
+		t.Error("disabled trace recorded")
+	}
+}
+
+func TestAddAndWindow(t *testing.T) {
+	tr := New()
+	tr.Add(0, Gemm, 10, 20)
+	tr.Add(1, NCCLAllReduce, 5, 30)
+	lo, hi := tr.Window()
+	if lo != 5 || hi != 30 {
+		t.Errorf("window = [%v,%v], want [5,30]", lo, hi)
+	}
+}
+
+func TestAddIgnoresEmptySpans(t *testing.T) {
+	tr := New()
+	tr.Add(0, Gemm, 10, 10)
+	tr.Add(0, Gemm, 10, 5)
+	if len(tr.Spans()) != 0 {
+		t.Error("degenerate spans recorded")
+	}
+}
+
+func TestSpansSorted(t *testing.T) {
+	tr := New()
+	tr.Add(1, Gemm, 0, 1)
+	tr.Add(0, Gemm, 5, 6)
+	tr.Add(0, Gemm, 1, 2)
+	s := tr.Spans()
+	if s[0].Rank != 0 || s[0].Start != 1 || s[2].Rank != 1 {
+		t.Errorf("spans not sorted: %+v", s)
+	}
+}
+
+func TestSummarizeIdleTime(t *testing.T) {
+	tr := New()
+	tr.Add(0, Gemm, 0, 40)
+	tr.Add(0, CPUAdam, 40, 100) // GPU idle during host optimizer
+	s := tr.Summarize(0)
+	if s.Total != 100 {
+		t.Errorf("total = %v", s.Total)
+	}
+	if s.GPUIdle != 60 {
+		t.Errorf("idle = %v, want 60 (CPUAdam does not occupy GPU)", s.GPUIdle)
+	}
+	if s.PerKind[CPUAdam] != 60 || s.PerKind[Gemm] != 40 {
+		t.Errorf("per-kind = %v", s.PerKind)
+	}
+}
+
+func TestRenderLane(t *testing.T) {
+	tr := New()
+	tr.Add(0, Gemm, 0, sim.Second)
+	tr.Add(0, NCCLAllReduce, sim.Second, 2*sim.Second)
+	tr.Add(0, CPUAdam, 2*sim.Second, 4*sim.Second)
+	lane := tr.Render(0, 40)
+	if len(lane) != 40 {
+		t.Fatalf("lane length = %d", len(lane))
+	}
+	if !strings.Contains(lane, "G") || !strings.Contains(lane, "A") || !strings.Contains(lane, "c") {
+		t.Errorf("lane %q missing expected glyphs", lane)
+	}
+	// First quarter should be GEMM, second quarter all-reduce.
+	if lane[0] != 'G' || lane[12] != 'A' || lane[30] != 'c' {
+		t.Errorf("lane layout wrong: %q", lane)
+	}
+}
+
+func TestRenderOtherRankEmptyLane(t *testing.T) {
+	tr := New()
+	tr.Add(0, Gemm, 0, 10)
+	lane := tr.Render(3, 10)
+	if lane != strings.Repeat(".", 10) {
+		t.Errorf("lane for silent rank = %q", lane)
+	}
+}
+
+func TestRenderEmptyTrace(t *testing.T) {
+	if New().Render(0, 10) != "" {
+		t.Error("empty trace should render empty string")
+	}
+}
+
+func TestKindMetadata(t *testing.T) {
+	if Gemm.String() != "GEMM" || Gemm.Char() != 'G' || !Gemm.OccupiesGPU() {
+		t.Error("Gemm metadata wrong")
+	}
+	if CPUAdam.OccupiesGPU() || NVMeIO.OccupiesGPU() {
+		t.Error("host-side kinds must not occupy GPU")
+	}
+	if Kind(99).String() == "" || Kind(99).Char() != '?' {
+		t.Error("unknown kind rendering wrong")
+	}
+}
+
+func TestLegendMentionsAllKinds(t *testing.T) {
+	l := Legend()
+	for _, name := range []string{"GEMM", "AllReduce", "CPUAdam", "NVMeIO", "idle"} {
+		if !strings.Contains(l, name) {
+			t.Errorf("legend missing %s: %q", name, l)
+		}
+	}
+}

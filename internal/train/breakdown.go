@@ -1,0 +1,123 @@
+package train
+
+import (
+	"sort"
+
+	"llmbw/internal/sim"
+	"llmbw/internal/trace"
+)
+
+// Breakdown attributes one iteration's wall time to activity classes — the
+// quantitative form of the paper's Fig 5 narration ("most kernels are GEMM…
+// ZeRO-3 involves many NCCL communication kernels… during the idle time of
+// the GPUs, the CPU is busy computing the optimizers").
+type Breakdown struct {
+	Total sim.Time
+	// Buckets in display order.
+	Compute    sim.Time // GEMM, element-wise, weight update
+	Collective sim.Time // NCCL operations (GPU-occupying)
+	Offload    sim.Time // PCIe staging copies
+	HostAdam   sim.Time // CPUAdam (GPUs idle)
+	NVMe       sim.Time // NVMe staging (GPUs idle)
+	GPUIdle    sim.Time // idle not attributable to host work
+}
+
+// Fraction returns part/Total, or 0 for an empty breakdown.
+func (b Breakdown) Fraction(part sim.Time) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	f := float64(part) / float64(b.Total)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// BreakdownFor computes the rank-0 breakdown of a traced run. Overlapping
+// spans are resolved by precedence (compute wins over collectives, which win
+// over host-side work), so the buckets sum to Total exactly.
+func BreakdownFor(tr *trace.Trace) Breakdown {
+	var b Breakdown
+	if !tr.Enabled() {
+		return b
+	}
+	lo, hi := tr.Window()
+	b.Total = hi - lo
+	if b.Total <= 0 {
+		return b
+	}
+
+	// Sweep rank 0's spans over time, classifying each instant by the
+	// highest-precedence active kind.
+	type edge struct {
+		at    sim.Time
+		delta int
+		class int
+	}
+	const (
+		clCompute = iota
+		clCollective
+		clOffload
+		clHostAdam
+		clNVMe
+		clCount
+	)
+	classify := func(k trace.Kind) int {
+		switch k {
+		case trace.Gemm, trace.Elementwise, trace.WeightUpdate:
+			return clCompute
+		case trace.NCCLAllReduce, trace.NCCLAllGather, trace.NCCLReduceScatter,
+			trace.NCCLReduce, trace.NCCLBroadcast:
+			return clCollective
+		case trace.OffloadCopy:
+			return clOffload
+		case trace.CPUAdam:
+			return clHostAdam
+		case trace.NVMeIO:
+			return clNVMe
+		}
+		return clCompute
+	}
+	var edges []edge
+	for _, s := range tr.Spans() {
+		if s.Rank != 0 {
+			continue
+		}
+		c := classify(s.Kind)
+		edges = append(edges, edge{s.Start, +1, c}, edge{s.End, -1, c})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+
+	active := make([]int, clCount)
+	buckets := make([]sim.Time, clCount)
+	var idle sim.Time
+	prev := lo
+	account := func(until sim.Time) {
+		d := until - prev
+		if d <= 0 {
+			return
+		}
+		for c := 0; c < clCount; c++ {
+			if active[c] > 0 {
+				buckets[c] += d
+				return
+			}
+		}
+		idle += d
+	}
+	for _, e := range edges {
+		account(e.at)
+		prev = e.at
+		active[e.class] += e.delta
+	}
+	account(hi)
+
+	b.Compute = buckets[clCompute]
+	b.Collective = buckets[clCollective]
+	b.Offload = buckets[clOffload]
+	b.HostAdam = buckets[clHostAdam]
+	b.NVMe = buckets[clNVMe]
+	b.GPUIdle = idle
+	return b
+}

@@ -1,0 +1,76 @@
+package train
+
+import (
+	"testing"
+
+	"llmbw/internal/model"
+	"llmbw/internal/sim"
+	"llmbw/internal/trace"
+)
+
+func tracedRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	cfg.Trace = true
+	cfg.Iterations = 2
+	cfg.Warmup = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	res := tracedRun(t, Config{Strategy: ZeRO3, Model: model.NewGPT(40)})
+	b := BreakdownFor(res.Trace)
+	sum := b.Compute + b.Collective + b.Offload + b.HostAdam + b.NVMe + b.GPUIdle
+	if sum != b.Total {
+		t.Errorf("buckets sum %v != total %v", sum, b.Total)
+	}
+	if b.Total <= 0 {
+		t.Fatal("empty breakdown")
+	}
+}
+
+func TestBreakdownShapesPerStrategy(t *testing.T) {
+	g := model.NewGPT(23)
+	ddp := BreakdownFor(tracedRun(t, Config{Strategy: DDP, Model: g}).Trace)
+	if ddp.Fraction(ddp.Compute) < 0.7 {
+		t.Errorf("DDP should be compute-dominated: %.0f%%", ddp.Fraction(ddp.Compute)*100)
+	}
+	meg := BreakdownFor(tracedRun(t, Config{Strategy: Megatron, Model: g}).Trace)
+	if meg.Fraction(meg.Collective) < ddp.Fraction(ddp.Collective) {
+		t.Error("Megatron should spend a larger share in collectives than DDP")
+	}
+	off := BreakdownFor(tracedRun(t, Config{Strategy: ZeRO2, Offload: memoryCPU(), Model: g}).Trace)
+	if off.Fraction(off.HostAdam) < 0.3 {
+		t.Errorf("CPU offload should be CPUAdam-dominated: %.0f%%", off.Fraction(off.HostAdam)*100)
+	}
+	inf := BreakdownFor(tracedRun(t, Config{Strategy: ZeRO3, Offload: memoryNVMeOpt(), Model: g}).Trace)
+	if inf.Fraction(inf.NVMe) < 0.5 {
+		t.Errorf("NVMe offload should be staging-dominated: %.0f%%", inf.Fraction(inf.NVMe)*100)
+	}
+}
+
+func TestBreakdownPrecedenceOnOverlap(t *testing.T) {
+	tr := trace.New()
+	// Compute and a collective overlap for [10,20); compute wins there.
+	tr.Add(0, trace.Gemm, 0, 20)
+	tr.Add(0, trace.NCCLAllReduce, 10, 30)
+	b := BreakdownFor(tr)
+	if b.Compute != 20 || b.Collective != 10 {
+		t.Errorf("compute=%v collective=%v, want 20/10", b.Compute, b.Collective)
+	}
+	if b.GPUIdle != 0 {
+		t.Errorf("idle = %v, want 0", b.GPUIdle)
+	}
+}
+
+func TestBreakdownEmptyTrace(t *testing.T) {
+	if b := BreakdownFor(nil); b.Total != 0 {
+		t.Error("nil trace should yield empty breakdown")
+	}
+	if f := (Breakdown{}).Fraction(sim.Second); f != 0 {
+		t.Errorf("fraction of empty breakdown = %v", f)
+	}
+}

@@ -1,0 +1,76 @@
+package train
+
+import (
+	"testing"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/model"
+)
+
+// TestCheckpointWritesHitNVMe: a checkpointed run produces NVMe traffic and
+// slows down relative to the same run without checkpointing; a run without
+// checkpointing shows no NVMe traffic.
+func TestCheckpointWritesHitNVMe(t *testing.T) {
+	g := model.NewGPT(40)
+	base := Config{Strategy: ZeRO2, Model: g, Iterations: 2, Warmup: 1}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats[fabric.PCIeNVME].Avg != 0 {
+		t.Error("non-checkpointed run shows NVMe traffic")
+	}
+
+	ck := base
+	ck.CheckpointEvery = 1
+	saved, err := Run(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Stats[fabric.PCIeNVME].Avg == 0 {
+		t.Error("checkpointed run shows no NVMe traffic")
+	}
+	if saved.IterTime <= plain.IterTime {
+		t.Errorf("checkpointing should add time: %v vs %v", saved.IterTime, plain.IterTime)
+	}
+	// A full checkpoint is 16Ψ bytes; at ~2B params that is ~32 GB over a
+	// two-drive scratch volume — seconds of NVMe time per save.
+	extra := (saved.IterTime - plain.IterTime).ToSeconds()
+	if extra < 1 {
+		t.Errorf("checkpoint cost %.2fs per iteration, suspiciously cheap", extra)
+	}
+}
+
+// TestCheckpointIntervalRespected: every-2-iterations costs half as much
+// amortized as every iteration.
+func TestCheckpointIntervalRespected(t *testing.T) {
+	g := model.NewGPT(30)
+	run := func(every int) float64 {
+		cfg := Config{Strategy: ZeRO2, Model: g, Iterations: 4, Warmup: 1, CheckpointEvery: every}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IterTime.ToSeconds()
+	}
+	everyIter := run(1)
+	everyOther := run(2)
+	if everyOther >= everyIter {
+		t.Errorf("checkpoint every 2 (%0.2fs/iter) should amortize below every 1 (%.2fs/iter)",
+			everyOther, everyIter)
+	}
+}
+
+// TestCheckpointWithNVMeOffloadSharesVolume: ZeRO-Infinity runs checkpoint
+// to their existing offload volume without error.
+func TestCheckpointWithNVMeOffloadSharesVolume(t *testing.T) {
+	cfg := Config{Strategy: ZeRO3, Offload: memoryNVMeOpt(), Model: model.NewGPT(40),
+		Iterations: 1, Warmup: 1, CheckpointEvery: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats[fabric.PCIeNVME].Avg == 0 {
+		t.Error("no NVMe traffic")
+	}
+}

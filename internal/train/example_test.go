@@ -1,0 +1,26 @@
+package train_test
+
+import (
+	"fmt"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/model"
+	"llmbw/internal/train"
+)
+
+// Train the largest single-node ZeRO-2 model and read the paper's metrics.
+func Example() {
+	cfg := train.Config{Strategy: train.ZeRO2, Nodes: 1, Iterations: 3, Warmup: 1}
+	cfg.Model = model.NewGPT(cfg.Profile().MaxLayers(model.DefaultBatchSize, 4))
+	res, err := train.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("model: %.2fB params\n", cfg.Model.ParamsB())
+	fmt.Printf("throughput: %.0f TFLOP/s\n", res.AttainedTFLOPs)
+	fmt.Printf("NVLink avg: %.0f GB/s\n", res.Stats[fabric.NVLink].Avg/1e9)
+	// Output:
+	// model: 5.29B params
+	// throughput: 506 TFLOP/s
+	// NVLink avg: 90 GB/s
+}

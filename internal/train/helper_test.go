@@ -1,0 +1,48 @@
+package train
+
+import (
+	"testing"
+
+	"llmbw/internal/memory"
+	"llmbw/internal/nvme"
+)
+
+// nvmeConfig fetches a named Fig 14 placement for tests.
+func nvmeConfig(t *testing.T, name string) nvme.Placement {
+	t.Helper()
+	p, err := nvme.ConfigByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFig14PlacementOrdering reproduces Table VI's qualitative findings:
+// D > C (no-RAID local beats socket-spanning RAID at two drives),
+// F ≈ G > E (per-socket volumes beat one spanning RAID at four drives),
+// and quad-drive beats dual-drive.
+func TestFig14PlacementOrdering(t *testing.T) {
+	g := maxFit(Config{Strategy: ZeRO3, Offload: memory.NVMeOptimizer})
+	tput := map[string]float64{}
+	for _, name := range []string{"A", "B", "C", "D", "E", "F", "G"} {
+		p := nvmeConfig(t, name)
+		cfg := Config{Strategy: ZeRO3, Offload: memory.NVMeOptimizer, Model: g, Placement: &p}
+		tput[name] = quickRun(t, cfg).AttainedTFLOPs
+	}
+	if tput["B"] <= tput["A"] {
+		t.Errorf("B (%.1f) should beat A (%.1f): second drive adds bandwidth", tput["B"], tput["A"])
+	}
+	if tput["D"] <= tput["C"] {
+		t.Errorf("D (%.1f) should beat C (%.1f): spanning RAID pays xGMI", tput["D"], tput["C"])
+	}
+	if tput["F"] <= tput["E"] || tput["G"] <= tput["E"] {
+		t.Errorf("F (%.1f) and G (%.1f) should beat E (%.1f)", tput["F"], tput["G"], tput["E"])
+	}
+	if tput["G"] <= tput["B"] {
+		t.Errorf("G (%.1f) should beat B (%.1f): double the drives", tput["G"], tput["B"])
+	}
+	// Paper: F and G within a few percent of each other.
+	if r := tput["F"] / tput["G"]; r < 0.9 || r > 1.1 {
+		t.Errorf("F/G = %.2f, paper reports near parity (64.61 vs 65.16)", r)
+	}
+}

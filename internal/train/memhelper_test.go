@@ -1,0 +1,9 @@
+package train
+
+import "llmbw/internal/memory"
+
+// memoryNVMeOpt shortens test literals.
+func memoryNVMeOpt() memory.Offload { return memory.NVMeOptimizer }
+
+// memoryCPU shortens test literals.
+func memoryCPU() memory.Offload { return memory.CPUOffload }

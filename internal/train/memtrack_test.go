@@ -1,0 +1,94 @@
+package train
+
+import (
+	"testing"
+
+	"llmbw/internal/memory"
+	"llmbw/internal/model"
+)
+
+// TestRuntimePeakMatchesPlan: the observed per-GPU peak must agree with the
+// analytic plan that sized the model (within tolerance: the plan charges all
+// activations at once, the runtime frees them through backward).
+func TestRuntimePeakMatchesPlan(t *testing.T) {
+	for _, s := range []Strategy{DDP, Megatron, ZeRO1, ZeRO2, ZeRO3} {
+		cfg := Config{Strategy: s}
+		cfg.Model = model.NewGPT(cfg.Profile().MaxLayers(model.DefaultBatchSize, 4))
+		cfg.Iterations = 1
+		cfg.Warmup = 1
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		plan := res.Memory.PerGPU
+		peak := res.PeakGPUBytes
+		if peak <= 0 {
+			t.Errorf("%v: no runtime peak recorded", s)
+			continue
+		}
+		if peak > plan*1.02 {
+			t.Errorf("%v: runtime peak %.1f GB exceeds plan %.1f GB", s, peak/1e9, plan/1e9)
+		}
+		if peak < plan*0.80 {
+			t.Errorf("%v: runtime peak %.1f GB far below plan %.1f GB (tracker missing allocations?)",
+				s, peak/1e9, plan/1e9)
+		}
+	}
+}
+
+// TestRuntimePeakNeverExceedsGPU: the OOM invariant holds at every max-fit
+// configuration (the tracker panics inside Run otherwise).
+func TestRuntimePeakNeverExceedsGPU(t *testing.T) {
+	for _, cfg := range []Config{
+		{Strategy: ZeRO3, Nodes: 2},
+		{Strategy: ZeRO2, Offload: memoryCPU()},
+		{Strategy: ZeRO3, Offload: memoryNVMeOpt()},
+	} {
+		cfg.Model = model.NewGPT(cfg.Profile().MaxLayers(model.DefaultBatchSize, 4))
+		cfg.Iterations = 1
+		cfg.Warmup = 1
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if res.PeakGPUBytes > memory.GPUMemBytes {
+			t.Errorf("%s: peak %.1f GB exceeds the A100", cfg.Name(), res.PeakGPUBytes/1e9)
+		}
+	}
+}
+
+// TestMemTrackerInvariants covers the tracker's own guards.
+func TestMemTrackerInvariants(t *testing.T) {
+	m := &memTracker{name: "t"}
+	m.alloc(10)
+	m.free(4)
+	m.alloc(2)
+	if m.used != 8 || m.peak != 10 {
+		t.Errorf("used=%v peak=%v", m.used, m.peak)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative alloc did not panic")
+			}
+		}()
+		m.alloc(-1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-free did not panic")
+			}
+		}()
+		m.free(1e12)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("OOM did not panic")
+			}
+		}()
+		m2 := &memTracker{name: "oom"}
+		m2.alloc(memory.GPUMemBytes + 1)
+	}()
+}

@@ -1,0 +1,237 @@
+package train
+
+import (
+	"fmt"
+
+	"llmbw/internal/collective"
+	"llmbw/internal/compute"
+	"llmbw/internal/model"
+	"llmbw/internal/sim"
+	"llmbw/internal/topology"
+)
+
+// This file contains a reference implementation of DDP that runs one
+// simulation process per GPU rank, synchronizing through rendezvous-driven
+// collectives and barriers — the "honest" SPMD execution. The production
+// scheduler (runner.go) advances all ranks in lockstep from a single driver,
+// which is exact for symmetric ranks; this implementation exists to
+// (a) cross-validate that equivalence in tests, and (b) model asymmetric
+// ranks — stragglers — which lockstep cannot express.
+
+// MultiProcConfig configures a per-rank DDP reference run.
+type MultiProcConfig struct {
+	Nodes       int
+	Model       model.GPT
+	BatchPerGPU int
+	Iterations  int
+	// RankSlowdown multiplies the compute time of individual ranks
+	// (1.0 = nominal). Missing ranks default to 1.0. This is the straggler
+	// knob: synchronous data parallelism runs at the pace of the slowest.
+	RankSlowdown map[int]float64
+}
+
+func (c MultiProcConfig) withDefaults() MultiProcConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.BatchPerGPU == 0 {
+		c.BatchPerGPU = model.DefaultBatchSize
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 3
+	}
+	return c
+}
+
+// MultiProcResult reports the reference run's timing.
+type MultiProcResult struct {
+	IterTime       sim.Time
+	AttainedTFLOPs float64
+}
+
+// RunDDPMultiProcess executes DDP with one process per rank. Every rank
+// computes its forward and backward passes independently (with its own
+// slowdown factor), participates in per-bucket gradient all-reduces through
+// a rendezvous (the last arrival launches the ring, everyone resumes when it
+// completes), and meets at a barrier before the optimizer step.
+func RunDDPMultiProcess(cfg MultiProcConfig) (*MultiProcResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Nodes < 1 || cfg.Nodes > MaxNodes {
+		return nil, fmt.Errorf("train: %d nodes unsupported", cfg.Nodes)
+	}
+	world := cfg.Nodes * topology.GPUsPerNode
+	cluster := topology.New(topology.DefaultConfig(cfg.Nodes))
+	group := collective.NewGroup(cluster, collective.NodeMajorRanks(cfg.Nodes, topology.GPUsPerNode))
+	gpu := compute.DefaultGPU()
+
+	slow := func(rank int) float64 {
+		if f, ok := cfg.RankSlowdown[rank]; ok && f > 0 {
+			return f
+		}
+		return 1
+	}
+
+	g := cfg.Model
+	b := cfg.BatchPerGPU
+	bk := buckets(g.Layers)
+	gradBytes := 2 * float64(g.Params())
+	perBucket := gradBytes / float64(len(bk))
+
+	barrier := &sim.Barrier{N: world}
+	// One rendezvous per bucket per iteration round; reuse via a rolling
+	// index (all ranks issue the same sequence, so a single slice indexed by
+	// bucket works for all iterations as rendezvous reset between rounds).
+	rvs := make([]*sim.Rendezvous, len(bk)+1)
+	for i := range rvs {
+		rvs[i] = &sim.Rendezvous{N: world}
+	}
+
+	var measureStart, measureEnd sim.Time
+	eng := cluster.Eng
+	for rank := 0; rank < world; rank++ {
+		rank := rank
+		eng.Go(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			factor := slow(rank)
+			kernel := func(flops float64) {
+				d := gpu.KernelTime(flops)
+				p.Sleep(sim.Time(float64(d) * factor))
+			}
+			for iter := 0; iter < cfg.Iterations; iter++ {
+				if rank == 0 && iter == 1 {
+					measureStart = p.Now()
+				}
+				// Forward.
+				for l := 0; l < g.Layers; l++ {
+					kernel(g.LayerForwardFLOPs(b))
+				}
+				kernel(g.HeadForwardFLOPs(b))
+				// Backward with per-bucket all-reduce at each rendezvous.
+				kernel(2 * g.HeadForwardFLOPs(b))
+				for bi, k := range bk {
+					kernel(2 * g.LayerForwardFLOPs(b) * float64(k))
+					rvs[bi].Do(p, func(done func()) {
+						group.Start(collective.AllReduce, perBucket, done)
+					})
+				}
+				// Optimizer step, then a barrier to align the iteration.
+				p.Sleep(gpu.AdamTime(g.Params()))
+				barrier.Wait(p)
+				if rank == 0 && iter == cfg.Iterations-1 {
+					measureEnd = p.Now()
+				}
+			}
+		})
+	}
+	eng.Run()
+	if eng.LiveProcs() != 0 {
+		return nil, fmt.Errorf("train: multiproc deadlock (%d live)", eng.LiveProcs())
+	}
+	iters := cfg.Iterations - 1
+	if iters < 1 {
+		iters = 1
+		measureStart = 0
+	}
+	res := &MultiProcResult{IterTime: (measureEnd - measureStart) / sim.Time(iters)}
+	flops := g.IterationFLOPs(b, world, false)
+	if res.IterTime > 0 {
+		res.AttainedTFLOPs = flops / res.IterTime.ToSeconds() / 1e12
+	}
+	return res, nil
+}
+
+// RunZeRO2MultiProcess is the per-rank reference for ZeRO-2: forward and
+// backward per rank, a rendezvous reduce-scatter per bucket, a per-rank
+// optimizer step over the local partition, and a rendezvous parameter
+// all-gather — cross-validating the lockstep ZeRO-2 scheduler.
+func RunZeRO2MultiProcess(cfg MultiProcConfig) (*MultiProcResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Nodes < 1 || cfg.Nodes > MaxNodes {
+		return nil, fmt.Errorf("train: %d nodes unsupported", cfg.Nodes)
+	}
+	world := cfg.Nodes * topology.GPUsPerNode
+	cluster := topology.New(topology.DefaultConfig(cfg.Nodes))
+	group := collective.NewGroup(cluster, collective.NodeMajorRanks(cfg.Nodes, topology.GPUsPerNode))
+	gpu := compute.DefaultGPU()
+
+	g := cfg.Model
+	b := cfg.BatchPerGPU
+	bk := buckets(g.Layers)
+	gradBytes := 2 * float64(g.Params())
+	paramBytes := gradBytes
+	perBucket := gradBytes / float64(len(bk))
+
+	barrier := &sim.Barrier{N: world}
+	rvs := make([]*sim.Rendezvous, len(bk)+1)
+	for i := range rvs {
+		rvs[i] = &sim.Rendezvous{N: world}
+	}
+
+	var measureStart, measureEnd sim.Time
+	eng := cluster.Eng
+	for rank := 0; rank < world; rank++ {
+		rank := rank
+		eng.Go(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			factor := 1.0
+			if f, ok := cfg.RankSlowdown[rank]; ok && f > 0 {
+				factor = f
+			}
+			kernel := func(flops float64) {
+				p.Sleep(sim.Time(float64(gpu.KernelTime(flops)) * factor))
+			}
+			overlap := cfg.Nodes == 1
+			for iter := 0; iter < cfg.Iterations; iter++ {
+				if rank == 0 && iter == 1 {
+					measureStart = p.Now()
+				}
+				for l := 0; l < g.Layers; l++ {
+					kernel(g.LayerForwardFLOPs(b))
+				}
+				kernel(g.HeadForwardFLOPs(b))
+				kernel(2 * g.HeadForwardFLOPs(b))
+				for bi, k := range bk {
+					// Checkpointing recompute plus backward.
+					kernel(3 * g.LayerForwardFLOPs(b) * float64(k))
+					if overlap {
+						rvs[bi].Do(p, func(done func()) {
+							group.StartRings(collective.ReduceScatter, perBucket, 0, 1, done)
+						})
+					}
+				}
+				if !overlap {
+					rvs[0].Do(p, func(done func()) {
+						group.StartRings(collective.ReduceScatter, gradBytes, 0, 1, done)
+					})
+				}
+				p.Sleep(gpu.AdamTime(g.Params() / int64(world)))
+				rvs[len(bk)].Do(p, func(done func()) {
+					group.StartRings(collective.AllGather, paramBytes, 0, 1, done)
+				})
+				barrier.Wait(p)
+				if rank == 0 && iter == cfg.Iterations-1 {
+					measureEnd = p.Now()
+				}
+			}
+		})
+	}
+	eng.Run()
+	if eng.LiveProcs() != 0 {
+		return nil, fmt.Errorf("train: multiproc deadlock (%d live)", eng.LiveProcs())
+	}
+	iters := cfg.Iterations - 1
+	if iters < 1 {
+		iters = 1
+		measureStart = 0
+	}
+	res := &MultiProcResult{IterTime: (measureEnd - measureStart) / sim.Time(iters)}
+	flops := g.IterationFLOPs(b, world, true)
+	if res.IterTime > 0 {
+		res.AttainedTFLOPs = flops / res.IterTime.ToSeconds() / 1e12
+	}
+	return res, nil
+}

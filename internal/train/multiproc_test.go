@@ -1,0 +1,129 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"llmbw/internal/model"
+)
+
+// TestMultiProcMatchesLockstep cross-validates the per-rank reference
+// implementation against the production lockstep scheduler: with symmetric
+// ranks the two must agree closely (they share every cost model; only the
+// coordination mechanics differ).
+func TestMultiProcMatchesLockstep(t *testing.T) {
+	g := model.NewGPT(20)
+	ref, err := RunDDPMultiProcess(MultiProcConfig{Model: g, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := Run(Config{Strategy: DDP, Model: g, Iterations: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ref.IterTime.ToSeconds(), prod.IterTime.ToSeconds()
+	if diff := math.Abs(a-b) / b; diff > 0.10 {
+		t.Errorf("multiproc iter %.4fs vs lockstep %.4fs (%.0f%% apart)", a, b, diff*100)
+	}
+}
+
+// TestMultiProcDualNode runs the reference across two nodes.
+func TestMultiProcDualNode(t *testing.T) {
+	g := model.NewGPT(20)
+	one, err := RunDDPMultiProcess(MultiProcConfig{Nodes: 1, Model: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := RunDDPMultiProcess(MultiProcConfig{Nodes: 2, Model: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.AttainedTFLOPs <= one.AttainedTFLOPs {
+		t.Errorf("dual-node (%.0f) should beat single (%.0f)", two.AttainedTFLOPs, one.AttainedTFLOPs)
+	}
+	if two.AttainedTFLOPs > 2*one.AttainedTFLOPs {
+		t.Errorf("dual-node scaling superlinear: %.0f vs %.0f", two.AttainedTFLOPs, one.AttainedTFLOPs)
+	}
+}
+
+// TestStragglerGatesSynchronousTraining: one rank 30% slower drags the whole
+// job — the behaviour only the per-rank implementation can express.
+func TestStragglerGatesSynchronousTraining(t *testing.T) {
+	g := model.NewGPT(20)
+	nominal, err := RunDDPMultiProcess(MultiProcConfig{Model: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	straggler, err := RunDDPMultiProcess(MultiProcConfig{
+		Model:        g,
+		RankSlowdown: map[int]float64{2: 1.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := straggler.IterTime.ToSeconds() / nominal.IterTime.ToSeconds()
+	// Compute dominates the iteration, so a 1.3x slow rank should cost
+	// roughly 20-30% end to end.
+	if ratio < 1.12 || ratio > 1.35 {
+		t.Errorf("straggler slowdown = %.2fx, want ~1.2-1.3x", ratio)
+	}
+}
+
+func TestMultiProcValidation(t *testing.T) {
+	if _, err := RunDDPMultiProcess(MultiProcConfig{Model: model.GPT{}}); err == nil {
+		t.Error("empty model accepted")
+	}
+	if _, err := RunDDPMultiProcess(MultiProcConfig{Nodes: MaxNodes + 1, Model: model.NewGPT(4)}); err == nil {
+		t.Error("oversized cluster accepted")
+	}
+}
+
+func TestMultiProcDeterministic(t *testing.T) {
+	g := model.NewGPT(10)
+	a, err := RunDDPMultiProcess(MultiProcConfig{Model: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDDPMultiProcess(MultiProcConfig{Model: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IterTime != b.IterTime {
+		t.Errorf("nondeterministic: %v vs %v", a.IterTime, b.IterTime)
+	}
+}
+
+// TestZeRO2MultiProcMatchesLockstep cross-validates the second strategy.
+func TestZeRO2MultiProcMatchesLockstep(t *testing.T) {
+	g := model.NewGPT(40)
+	ref, err := RunZeRO2MultiProcess(MultiProcConfig{Model: g, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := Run(Config{Strategy: ZeRO2, Model: g, Iterations: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ref.IterTime.ToSeconds(), prod.IterTime.ToSeconds()
+	if diff := math.Abs(a-b) / b; diff > 0.10 {
+		t.Errorf("ZeRO-2 multiproc %.4fs vs lockstep %.4fs (%.0f%% apart)", a, b, diff*100)
+	}
+}
+
+// TestZeRO2MultiProcDualNode checks the dual-node reference path (exposed
+// reduce-scatter) agrees too.
+func TestZeRO2MultiProcDualNode(t *testing.T) {
+	g := model.NewGPT(40)
+	ref, err := RunZeRO2MultiProcess(MultiProcConfig{Nodes: 2, Model: g, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := Run(Config{Strategy: ZeRO2, Nodes: 2, Model: g, Iterations: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ref.IterTime.ToSeconds(), prod.IterTime.ToSeconds()
+	if diff := math.Abs(a-b) / b; diff > 0.12 {
+		t.Errorf("dual-node ZeRO-2 multiproc %.4fs vs lockstep %.4fs (%.0f%% apart)", a, b, diff*100)
+	}
+}

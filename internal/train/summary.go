@@ -1,0 +1,71 @@
+package train
+
+import (
+	"encoding/json"
+	"io"
+
+	"llmbw/internal/fabric"
+)
+
+// Summary is the machine-readable digest of a training run, stable for JSON
+// serialization (map keys are interconnect names, units are explicit).
+type Summary struct {
+	Config      string  `json:"config"`
+	Nodes       int     `json:"nodes"`
+	ModelB      float64 `json:"model_billion_params"`
+	Layers      int     `json:"layers"`
+	BatchPerGPU int     `json:"batch_per_gpu"`
+	IterSec     float64 `json:"iteration_seconds"`
+	TFLOPs      float64 `json:"attained_tflops"`
+
+	MemoryGB struct {
+		PerGPU   float64 `json:"per_gpu"`
+		GPUTotal float64 `json:"gpu_total"`
+		CPUTotal float64 `json:"cpu_total"`
+		NVMe     float64 `json:"nvme"`
+	} `json:"memory_gb"`
+
+	// BandwidthGBps maps interconnect name to [avg, p90, peak].
+	BandwidthGBps map[string][3]float64 `json:"bandwidth_gbps"`
+}
+
+// Summary digests the result.
+func (r *Result) Summary() Summary {
+	s := Summary{
+		Config:      r.Config.Name(),
+		Nodes:       r.Config.Nodes,
+		ModelB:      r.Config.Model.ParamsB(),
+		Layers:      r.Config.Model.Layers,
+		BatchPerGPU: r.Config.BatchPerGPU,
+		IterSec:     r.IterTime.ToSeconds(),
+		TFLOPs:      r.AttainedTFLOPs,
+	}
+	s.MemoryGB.PerGPU = r.Memory.PerGPU / 1e9
+	s.MemoryGB.GPUTotal = r.Memory.GPUTotal / 1e9
+	s.MemoryGB.CPUTotal = r.Memory.CPUTotal / 1e9
+	s.MemoryGB.NVMe = r.Memory.NVMe / 1e9
+	s.BandwidthGBps = make(map[string][3]float64)
+	for _, class := range fabric.MeasuredClasses() {
+		st := r.Stats[class]
+		s.BandwidthGBps[class.String()] = [3]float64{st.Avg / 1e9, st.P90 / 1e9, st.Peak / 1e9}
+	}
+	return s
+}
+
+// WriteJSON writes the indented JSON summary.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summary())
+}
+
+// WriteSummariesJSON writes a JSON array of run summaries.
+func WriteSummariesJSON(w io.Writer, results []*Result) error {
+	out := make([]Summary, len(results))
+	for i, r := range results {
+		out[i] = r.Summary()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

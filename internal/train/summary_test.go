@@ -1,0 +1,52 @@
+package train
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"llmbw/internal/model"
+)
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	res, err := Run(Config{Strategy: ZeRO2, Model: model.NewGPT(20), Iterations: 2, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if s.Config != "ZeRO-2" || s.Nodes != 1 || s.Layers != 20 {
+		t.Errorf("summary fields wrong: %+v", s)
+	}
+	if s.TFLOPs <= 0 || s.IterSec <= 0 {
+		t.Error("summary missing measurements")
+	}
+	nv, ok := s.BandwidthGBps["NVLink"]
+	if !ok || nv[0] <= 0 {
+		t.Errorf("NVLink bandwidth missing: %v", s.BandwidthGBps)
+	}
+	if s.MemoryGB.PerGPU <= 0 || s.MemoryGB.PerGPU > 40 {
+		t.Errorf("per-GPU memory = %v GB", s.MemoryGB.PerGPU)
+	}
+}
+
+func TestWriteSummariesJSONArray(t *testing.T) {
+	res, err := Run(Config{Strategy: DDP, Model: model.NewGPT(10), Iterations: 1, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSummariesJSON(&buf, []*Result{res, res}); err != nil {
+		t.Fatal(err)
+	}
+	var arr []Summary
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil || len(arr) != 2 {
+		t.Fatalf("array decode: %v (%d)", err, len(arr))
+	}
+}

@@ -1,0 +1,207 @@
+package whatif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"llmbw/internal/sim"
+	"llmbw/internal/train"
+)
+
+func TestRoCESweepMegatronScalesWithNetwork(t *testing.T) {
+	pts, err := RoCEBandwidthSweep([]float64{25, 50, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string][]Point{}
+	for _, p := range pts {
+		byLabel[p.Label] = append(byLabel[p.Label], p)
+	}
+	meg := byLabel["Megatron-LM"]
+	if len(meg) != 3 {
+		t.Fatalf("megatron points = %d", len(meg))
+	}
+	// Megatron-LM is bandwidth-bound below the paper's 50 GB/s NICs…
+	if meg[0].TFLOPs >= meg[1].TFLOPs {
+		t.Errorf("halving the network should hurt Megatron: %+v", meg)
+	}
+	// …but beyond them the EPYC I/O-die crossbar binds: faster NICs alone
+	// do not rescue it (the sweep's own finding).
+	if meg[2].TFLOPs > 1.25*meg[1].TFLOPs {
+		t.Errorf("4x NICs should plateau at the crossbar: %.0f -> %.0f", meg[1].TFLOPs, meg[2].TFLOPs)
+	}
+	// ZeRO-3 saturates too.
+	z3 := byLabel["ZeRO-3"]
+	if z3[2].TFLOPs > 1.5*z3[1].TFLOPs {
+		t.Errorf("ZeRO-3 should saturate: %.0f -> %.0f", z3[1].TFLOPs, z3[2].TFLOPs)
+	}
+}
+
+func TestNVMeScalingApproachesCPUOffload(t *testing.T) {
+	pts, err := NVMeScalingSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one, eight, cpuRef float64
+	for _, p := range pts {
+		switch {
+		case p.Label == "config A":
+			one = p.TFLOPs
+		case p.Label == "config H":
+			eight = p.TFLOPs
+		case strings.Contains(p.Label, "CPU"):
+			cpuRef = p.TFLOPs
+		}
+	}
+	if eight < 4*one {
+		t.Errorf("8 drives (%.0f) should be >4x one drive (%.0f)", eight, one)
+	}
+	// The paper's prediction: eight slots "potentially comparable to CPU
+	// offload" — within ~2.5x in our model.
+	if eight < cpuRef/2.5 {
+		t.Errorf("8-drive NVMe (%.0f) should approach CPU offload (%.0f)", eight, cpuRef)
+	}
+}
+
+func TestBatchSweepTradeoff(t *testing.T) {
+	pts, err := BatchSizeSweep([]int{8, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Larger batch -> smaller max model.
+	if !(pts[0].SizeB > pts[1].SizeB && pts[1].SizeB > pts[2].SizeB) {
+		t.Errorf("max size should shrink with batch: %+v", pts)
+	}
+	// Larger batch -> per-kernel efficiency rises, so throughput should not
+	// collapse (and typically rises).
+	if pts[2].TFLOPs < pts[0].TFLOPs*0.8 {
+		t.Errorf("batch 64 throughput (%.0f) collapsed vs batch 8 (%.0f)", pts[2].TFLOPs, pts[0].TFLOPs)
+	}
+}
+
+func TestXbarAblationExplainsDegradation(t *testing.T) {
+	with, without := XbarAblation(3 * sim.Second)
+	for k, frac := range without {
+		if frac < 0.95 {
+			t.Errorf("without crossbar, %s attains %.0f%%, want ~100%%", k, frac*100)
+		}
+	}
+	if with["GPU-RoCE same-socket"] > 0.7 {
+		t.Errorf("with crossbar, GPU-RoCE same-socket attains %.0f%%, want ~52%%",
+			with["GPU-RoCE same-socket"]*100)
+	}
+}
+
+func TestCheckpointingAblation(t *testing.T) {
+	on, off := CheckpointingAblation()
+	if on.Params() <= off.Params() {
+		t.Errorf("checkpointing should raise max size: %v vs %v", on.ParamsB(), off.ParamsB())
+	}
+	if ratio := on.ParamsB() / off.ParamsB(); ratio < 1.5 {
+		t.Errorf("checkpointing gain = %.1fx, expected substantial", ratio)
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	reports := map[string]func(*bytes.Buffer) error{
+		"batch": func(b *bytes.Buffer) error { return BatchReport(b) },
+		"ckpt":  func(b *bytes.Buffer) error { return CheckpointReport(b) },
+		"xbar":  func(b *bytes.Buffer) error { return XbarReport(b, 2*sim.Second) },
+	}
+	for name, fn := range reports {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			t.Errorf("%s report: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "finding:") {
+			t.Errorf("%s report missing finding:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestHybridReportRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hybrid sweep is slow")
+	}
+	var buf bytes.Buffer
+	if err := HybridReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TP") {
+		t.Error("hybrid report malformed")
+	}
+}
+
+func TestStragglerStudyMonotone(t *testing.T) {
+	pts, err := StragglerStudy([]float64{1.0, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].TFLOPs >= pts[0].TFLOPs {
+		t.Errorf("straggler should cost throughput: %.0f -> %.0f", pts[0].TFLOPs, pts[1].TFLOPs)
+	}
+}
+
+func TestDegradedNICStudy(t *testing.T) {
+	nominal, degraded, err := DegradedNICStudy(0.25, 2*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded >= nominal {
+		t.Errorf("degraded NIC should cost throughput: %.0f vs nominal %.0f", degraded, nominal)
+	}
+	if degraded < nominal*0.2 {
+		t.Errorf("degradation implausibly severe: %.0f vs %.0f", degraded, nominal)
+	}
+}
+
+func TestPurposeBuiltPlatformHelps(t *testing.T) {
+	main, err := runCfg(train.Config{Strategy: train.Megatron, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := runCfg(train.Config{Strategy: train.Megatron, Nodes: 2, PurposeBuilt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.AttainedTFLOPs <= main.AttainedTFLOPs*1.3 {
+		t.Errorf("purpose-built should lift Megatron dual substantially: %.0f vs %.0f",
+			pb.AttainedTFLOPs, main.AttainedTFLOPs)
+	}
+}
+
+func TestNVMeScalingReportRenders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NVMeScalingReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"config A", "config H", "finding:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestScalingStudySmall(t *testing.T) {
+	pts, err := ScalingStudy(2, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string][]Point{}
+	for _, p := range pts {
+		byLabel[p.Label] = append(byLabel[p.Label], p)
+	}
+	// DDP aggregate throughput grows with nodes; Megatron's falls.
+	ddp := byLabel["DDP"]
+	if len(ddp) != 2 || ddp[1].TFLOPs <= ddp[0].TFLOPs {
+		t.Errorf("DDP scaling wrong: %+v", ddp)
+	}
+	meg := byLabel["Megatron-LM"]
+	if len(meg) != 2 || meg[1].TFLOPs >= meg[0].TFLOPs {
+		t.Errorf("Megatron should lose throughput across nodes: %+v", meg)
+	}
+}
