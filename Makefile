@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check test build vet bench clean
+
+## check: the full gate — vet, build, and race-enabled tests.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## bench: run the hot-path benchmarks and record machine-readable results.
+bench:
+	$(GO) test -run '^$$' -bench 'FabricFairShare|SimEngineEvents|CollectiveAllReduce' -benchmem -json . > BENCH_fabric.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_fabric.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
+
+clean:
+	rm -f BENCH_fabric.json

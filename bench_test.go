@@ -167,6 +167,43 @@ func BenchmarkFabricFairShare(b *testing.B) {
 	}
 }
 
+// BenchmarkFabricFairShareSteady measures steady-state resharing: 64
+// long-lived flows over 8 shared links complete and restart continuously, so
+// every completion re-runs component-wise progressive filling with all
+// scratch state warm. This is the path every simulated second of every
+// experiment exercises thousands of times; it must not allocate.
+func BenchmarkFabricFairShareSteady(b *testing.B) {
+	eng := sim.New()
+	net := fabric.NewNetwork(eng)
+	links := make([]*fabric.Link, 8)
+	for j := range links {
+		links[j] = fabric.NewLink("l", fabric.NVLink, 0, 10e9, 0)
+	}
+	flows := make([]*fabric.Flow, 64)
+	restart := make([]func(), 64)
+	for j := range flows {
+		j := j
+		// ~0.6 GB/s fair share per flow: each flow completes roughly every
+		// millisecond and immediately restarts itself.
+		flows[j] = &fabric.Flow{
+			Path:  []*fabric.Link{links[j%8], links[(j+3)%8]},
+			Bytes: 6e5 + 1e4*float64(j%5),
+		}
+		restart[j] = func() { net.StartFlow(flows[j], restart[j]) }
+	}
+	for j := range flows {
+		net.StartFlow(flows[j], restart[j])
+	}
+	// Warm up scratch buffers, event pool and telemetry windows.
+	end := eng.RunUntil(eng.Now() + 100*sim.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		end += 10 * sim.Millisecond
+		eng.RunUntil(end)
+	}
+}
+
 // BenchmarkCollectiveAllReduce measures an 8-rank dual-node ring all-reduce
 // of 1 GB through the fluid-flow fabric.
 func BenchmarkCollectiveAllReduce(b *testing.B) {

@@ -7,14 +7,18 @@
 //	bwchar -list
 //	bwchar fig7 table4
 //	bwchar -iterations 5 -pattern-seconds 60 all
+//	bwchar -parallel 4 all
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"llmbw/internal/core"
+	"llmbw/internal/runner"
 )
 
 func main() {
@@ -24,6 +28,7 @@ func main() {
 	patternSeconds := flag.Float64("pattern-seconds", 30, "simulated duration of utilization-pattern figures")
 	stressSeconds := flag.Float64("stress-seconds", 10, "simulated duration of bandwidth stress kernels")
 	artifacts := flag.String("artifacts", "", "directory for machine-readable artifacts (Chrome traces, CSV series)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently; 1 runs serially")
 	flag.Parse()
 
 	if *list {
@@ -56,32 +61,42 @@ func main() {
 		StressSeconds:  *stressSeconds,
 		ArtifactsDir:   *artifacts,
 	}
+
+	// Resolve the experiment list up front so an unknown id fails before any
+	// simulation starts.
+	var exps []core.Experiment
 	if len(args) == 1 && (args[0] == "all" || args[0] == "all-ext") {
-		if err := core.RunAll(os.Stdout, opt); err != nil {
-			fmt.Fprintln(os.Stderr, "bwchar:", err)
-			os.Exit(1)
-		}
+		exps = core.Experiments()
 		if args[0] == "all-ext" {
-			for _, e := range core.Extensions() {
-				fmt.Printf("\n######## %s — %s ########\n", e.ID, e.Title)
-				if err := e.Run(os.Stdout, opt); err != nil {
-					fmt.Fprintln(os.Stderr, "bwchar:", err)
-					os.Exit(1)
-				}
+			exps = append(exps, core.Extensions()...)
+		}
+	} else {
+		for _, id := range args {
+			e, err := core.Get(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bwchar:", err)
+				os.Exit(2)
 			}
+			exps = append(exps, e)
 		}
-		return
 	}
-	for _, id := range args {
-		e, err := core.Get(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bwchar:", err)
-			os.Exit(2)
-		}
-		fmt.Printf("\n######## %s — %s ########\n", e.ID, e.Title)
-		if err := e.Run(os.Stdout, opt); err != nil {
-			fmt.Fprintln(os.Stderr, "bwchar:", err)
-			os.Exit(1)
-		}
+
+	// Each experiment owns a private simulation engine, so they run on a
+	// worker pool; the runner flushes outputs in submission order, so the
+	// bytes match a serial run exactly regardless of -parallel.
+	jobs := make([]runner.Job, len(exps))
+	for i, e := range exps {
+		e := e
+		jobs[i] = runner.Job{ID: e.ID, Run: func(w io.Writer) error {
+			fmt.Fprintf(w, "\n######## %s — %s ########\n", e.ID, e.Title)
+			if err := e.Run(w, opt); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			return nil
+		}}
+	}
+	if err := runner.Run(os.Stdout, *parallel, jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "bwchar:", err)
+		os.Exit(1)
 	}
 }

@@ -11,12 +11,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"llmbw/internal/memory"
 	"llmbw/internal/model"
 	"llmbw/internal/report"
+	"llmbw/internal/runner"
 	"llmbw/internal/train"
 )
 
@@ -37,6 +39,7 @@ func main() {
 	sizesArg := flag.String("sizes", "0.7,1.4,2.9,4.4,5.2", "comma-separated model sizes in billions; 'max' appends the largest fit")
 	iterations := flag.Int("iterations", 3, "measured iterations per point")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON summaries instead of a table")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep points to simulate concurrently; 1 runs serially")
 	flag.Parse()
 
 	strat, ok := strategies[*strategy]
@@ -77,21 +80,37 @@ func main() {
 	t := report.NewTable(
 		fmt.Sprintf("Throughput vs model size — %s, offload=%s, nodes=%d", base.Name(), *offload, *nodes),
 		"layers", "size (B)", "iteration", "TFLOP/s")
+	// Every sweep point owns a private simulation, so points run on a worker
+	// pool; rows are assembled in order afterwards, so the rendered table is
+	// identical to a serial sweep.
+	points := make([]*train.Result, len(layerCounts))
+	err := runner.Map(*parallel, len(layerCounts), func(i int) error {
+		l := layerCounts[i]
+		if l > maxLayers {
+			return nil
+		}
+		cfg := base
+		cfg.Model = model.NewGPT(l)
+		res, err := train.RunCached(cfg)
+		if err != nil {
+			return err
+		}
+		points[i] = res
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 	var results []*train.Result
-	for _, l := range layerCounts {
+	for i, l := range layerCounts {
 		if l > maxLayers {
 			t.Row(l, model.NewGPT(l).ParamsB(), "does not fit", "-")
 			continue
 		}
-		cfg := base
-		cfg.Model = model.NewGPT(l)
-		res, err := train.Run(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
-		}
+		res := points[i]
 		results = append(results, res)
-		t.Row(l, cfg.Model.ParamsB(), res.IterTime.String(), res.AttainedTFLOPs)
+		t.Row(l, res.Config.Model.ParamsB(), res.IterTime.String(), res.AttainedTFLOPs)
 	}
 	if *jsonOut {
 		if err := train.WriteSummariesJSON(os.Stdout, results); err != nil {

@@ -151,7 +151,7 @@ func RunMax(cfg train.Config, opt Options) (*train.Result, error) {
 	cfg.Model = MaxModel(cfg)
 	cfg.Iterations = opt.Iterations
 	cfg.Warmup = opt.Warmup
-	return train.Run(cfg)
+	return train.RunCached(cfg)
 }
 
 // RunAt trains a configuration at an explicit model size.
@@ -160,7 +160,7 @@ func RunAt(cfg train.Config, g model.GPT, opt Options) (*train.Result, error) {
 	cfg.Model = g
 	cfg.Iterations = opt.Iterations
 	cfg.Warmup = opt.Warmup
-	return train.Run(cfg)
+	return train.RunCached(cfg)
 }
 
 // RunForDuration trains until roughly the requested simulated duration has
@@ -172,7 +172,7 @@ func RunForDuration(cfg train.Config, g model.GPT, seconds float64, opt Options)
 	probe.Model = g
 	probe.Iterations = 1
 	probe.Warmup = 1
-	pr, err := train.Run(probe)
+	pr, err := train.RunCached(probe)
 	if err != nil {
 		return nil, err
 	}
@@ -186,5 +186,5 @@ func RunForDuration(cfg train.Config, g model.GPT, seconds float64, opt Options)
 	cfg.Model = g
 	cfg.Iterations = iters
 	cfg.Warmup = opt.Warmup
-	return train.Run(cfg)
+	return train.RunCached(cfg)
 }

@@ -97,7 +97,7 @@ func Fig5(w io.Writer, opt Options) error {
 		cfg.Iterations = 2
 		cfg.Warmup = 1
 		cfg.Model = small
-		res, err := train.Run(cfg)
+		res, err := train.RunCached(cfg)
 		if err != nil {
 			return err
 		}

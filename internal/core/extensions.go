@@ -22,7 +22,7 @@ func energyReport(w io.Writer, opt Options) error {
 		cfg.Trace = true
 		cfg.Iterations = 2
 		cfg.Warmup = 1
-		res, err := train.Run(cfg)
+		res, err := train.RunCached(cfg)
 		if err != nil {
 			return err
 		}
@@ -52,7 +52,7 @@ func breakdownReport(w io.Writer, opt Options) error {
 		cfg.Trace = true
 		cfg.Iterations = 2
 		cfg.Warmup = 1
-		res, err := train.Run(cfg)
+		res, err := train.RunCached(cfg)
 		if err != nil {
 			return err
 		}

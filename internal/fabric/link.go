@@ -74,7 +74,20 @@ type Link struct {
 
 	capacity float64
 	counter  *telemetry.Counter
-	flows    int // active flows crossing this link (maintained by Network)
+
+	// active lists the flows currently crossing the link (maintained by
+	// Network with swap-removal; a flow whose path crosses the link twice
+	// appears twice). It is the adjacency the network's connected-component
+	// walk traverses, and its length is the flow count progressive filling
+	// used to recompute per call.
+	active []*Flow
+	// mark stamps the link as visited during a component walk; scap and
+	// sunfrozen are the link's progressive-filling scratch state. All three
+	// are owned by the Network between reshare calls, living here so the
+	// hot path needs no map from link to state.
+	mark      int64
+	scap      float64
+	sunfrozen int
 }
 
 // NewLink creates a link. Capacity is in bytes/second; window is the
@@ -100,7 +113,25 @@ func (l *Link) Capacity() float64 { return l.capacity }
 func (l *Link) Counter() *telemetry.Counter { return l.counter }
 
 // ActiveFlows returns the number of flows currently crossing the link.
-func (l *Link) ActiveFlows() int { return l.flows }
+func (l *Link) ActiveFlows() int { return len(l.active) }
+
+// removeFlowAt swap-removes the flow at position i of the link's active list,
+// fixing up the displaced flow's recorded position.
+func (l *Link) removeFlowAt(i int) {
+	last := len(l.active) - 1
+	if i != last {
+		moved := l.active[last]
+		l.active[i] = moved
+		for k, pl := range moved.Path {
+			if pl == l && moved.pos[k] == int32(last) {
+				moved.pos[k] = int32(i)
+				break
+			}
+		}
+	}
+	l.active[last] = nil
+	l.active = l.active[:last]
+}
 
 func (l *Link) String() string {
 	return fmt.Sprintf("%s(%s, %.1f GB/s)", l.Name, l.Class, l.capacity/1e9)

@@ -20,7 +20,10 @@ type Flow struct {
 	rate      float64
 	onDone    func()
 	done      bool
-	frozen    bool // scratch state for the fair-share computation
+	frozen    bool    // scratch state for the fair-share computation
+	idx       int     // position in Network.active; -1 when inactive
+	mark      int64   // component-walk visit stamp
+	pos       []int32 // per-path-element position in the link's active list
 }
 
 // Remaining returns the bytes left to transfer.
@@ -34,23 +37,51 @@ func (f *Flow) Done() bool { return f.done }
 
 // Network manages active flows over the link graph and advances them in
 // virtual time.
+//
+// Rate recomputation is incremental: flows partition into connected
+// components over shared links, and a flow start, finish or capacity change
+// re-runs progressive filling only for the touched component. All scratch
+// state (component work-lists, per-link capacities and counts) lives in
+// reusable buffers on the Network and the links themselves, so steady-state
+// resharing performs no allocation.
 type Network struct {
 	eng    *sim.Engine
-	flows  map[*Flow]struct{}
+	active []*Flow // dense registry; Flow.idx is the position
 	lastAt sim.Time
 	epoch  int64 // invalidates stale completion events
+
+	// cePool recycles completion events (and their bound closures) so
+	// steady-state re-arming allocates nothing.
+	cePool []*completionEvent
+
+	// Reusable scratch for reshare: the component work-lists double as the
+	// BFS queue/visited set, finished collects flows to retire before
+	// recomputation mutates the registry.
+	markGen   int64
+	compFlows []*Flow
+	compLinks []*Link
+	finished  []*Flow
+}
+
+// completionEvent carries the epoch stamp of one arming of the network's
+// next-completion timer. The closure is built once per pool entry and reused
+// across armings; an event is back in the pool the moment it fires, since
+// each scheduled firing references a distinct entry.
+type completionEvent struct {
+	epoch int64
+	fn    func()
 }
 
 // NewNetwork creates a network bound to the engine.
 func NewNetwork(eng *sim.Engine) *Network {
-	return &Network{eng: eng, flows: make(map[*Flow]struct{})}
+	return &Network{eng: eng}
 }
 
 // Engine returns the simulation engine the network runs on.
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
 // ActiveFlows returns the number of in-flight flows.
-func (n *Network) ActiveFlows() int { return len(n.flows) }
+func (n *Network) ActiveFlows() int { return len(n.active) }
 
 // StartFlow begins transferring f and invokes onDone (from engine context)
 // when the last byte arrives. Zero-byte flows complete after one scheduler
@@ -73,11 +104,15 @@ func (n *Network) StartFlow(f *Flow, onDone func()) {
 		return
 	}
 	n.advance()
-	n.flows[f] = struct{}{}
+	f.idx = len(n.active)
+	f.mark = 0
+	n.active = append(n.active, f)
+	f.pos = f.pos[:0]
 	for _, l := range f.Path {
-		l.flows++
+		f.pos = append(f.pos, int32(len(l.active)))
+		l.active = append(l.active, f)
 	}
-	n.reshare()
+	n.reshare(f, nil)
 }
 
 // Transfer is a convenience wrapper for processes: it starts the flow and
@@ -97,7 +132,7 @@ func (n *Network) SetCapacity(l *Link, capacity float64) {
 	}
 	n.advance()
 	l.capacity = capacity
-	n.reshare()
+	n.reshare(nil, l)
 }
 
 // advance credits bytes moved since the last rate change to flows and link
@@ -113,7 +148,7 @@ func (n *Network) advance() {
 		return
 	}
 	sec := dt.ToSeconds()
-	for f := range n.flows {
+	for _, f := range n.active {
 		moved := f.rate * sec
 		if moved > f.remaining {
 			moved = f.remaining
@@ -128,23 +163,85 @@ func (n *Network) advance() {
 	n.lastAt = now
 }
 
-// reshare recomputes max-min fair rates for all active flows, retires flows
-// that have (within tolerance) finished, and schedules the next completion.
-func (n *Network) reshare() {
-	// Retire finished flows first so they do not consume shares.
-	for f := range n.flows {
+// reshare retires flows that have (within tolerance) finished, recomputes
+// max-min fair rates for the connected component touched by the change —
+// seeded by a starting flow, a capacity-changed link, and the links of every
+// retired flow — and re-arms the next completion event.
+func (n *Network) reshare(seedFlow *Flow, seedLink *Link) {
+	// Collect finished flows first, then retire: retiring in-place while
+	// scanning would permute the dense registry under the scan.
+	n.finished = n.finished[:0]
+	for _, f := range n.active {
 		if f.remaining <= 1e-6 {
-			n.finish(f)
+			n.finished = append(n.finished, f)
 		}
 	}
+	for _, f := range n.finished {
+		n.retire(f)
+	}
+
+	// Gather the touched component. The compLinks slice doubles as the BFS
+	// queue: links are appended once when first marked and scanned in order.
+	n.markGen++
+	gen := n.markGen
+	n.compFlows = n.compFlows[:0]
+	n.compLinks = n.compLinks[:0]
+	seedLinks := func(path []*Link) {
+		for _, l := range path {
+			if l.mark != gen {
+				l.mark = gen
+				l.scap = l.capacity
+				l.sunfrozen = 0
+				n.compLinks = append(n.compLinks, l)
+			}
+		}
+	}
+	visitFlow := func(f *Flow) {
+		if f.mark == gen {
+			return
+		}
+		f.mark = gen
+		f.frozen = false
+		f.rate = 0
+		n.compFlows = append(n.compFlows, f)
+		seedLinks(f.Path)
+		for _, l := range f.Path {
+			l.sunfrozen++
+		}
+	}
+	if seedLink != nil {
+		seedLinks([]*Link{seedLink})
+	}
+	for _, f := range n.finished {
+		seedLinks(f.Path)
+	}
+	if seedFlow != nil && seedFlow.idx >= 0 {
+		visitFlow(seedFlow)
+	}
+	for scan := 0; scan < len(n.compLinks); scan++ {
+		for _, f := range n.compLinks[scan].active {
+			visitFlow(f)
+		}
+	}
+
 	n.computeRates()
 	n.scheduleNextCompletion()
 }
 
-func (n *Network) finish(f *Flow) {
-	delete(n.flows, f)
-	for _, l := range f.Path {
-		l.flows--
+// retire removes f from the dense registry and every link it crosses, and
+// schedules its completion callback.
+func (n *Network) retire(f *Flow) {
+	last := len(n.active) - 1
+	if f.idx != last {
+		moved := n.active[last]
+		n.active[f.idx] = moved
+		moved.idx = f.idx
+	}
+	n.active[last] = nil
+	n.active = n.active[:last]
+	f.idx = -1
+	for i, l := range f.Path {
+		l.removeFlowAt(int(f.pos[i]))
 	}
 	f.remaining = 0
 	f.rate = 0
@@ -156,43 +253,25 @@ func (n *Network) finish(f *Flow) {
 	}
 }
 
-// computeRates implements progressive filling: repeatedly find the most
-// constrained resource, freeze its flows at the fair share, and continue with
-// reduced capacities. Per-flow rate limits are treated as single-flow links.
+// computeRates implements progressive filling over the gathered component:
+// repeatedly find the most constrained resource, freeze its flows at the fair
+// share, and continue with reduced capacities. Per-flow rate limits are
+// treated as single-flow links. Flows outside the component keep their rates:
+// components share no links, so their allocations are unaffected.
 func (n *Network) computeRates() {
-	if len(n.flows) == 0 {
-		return
-	}
-	type linkState struct {
-		cap      float64
-		unfrozen int
-	}
-	states := make(map[*Link]*linkState)
-	for f := range n.flows {
-		f.frozen = false
-		f.rate = 0
-		for _, l := range f.Path {
-			st := states[l]
-			if st == nil {
-				st = &linkState{cap: l.capacity}
-				states[l] = st
-			}
-			st.unfrozen++
-		}
-	}
-	unfrozen := len(n.flows)
+	unfrozen := len(n.compFlows)
 	for unfrozen > 0 {
 		// Find the bottleneck: smallest fair share over links and flow caps.
 		share := math.MaxFloat64
-		for _, st := range states {
-			if st.unfrozen == 0 {
+		for _, l := range n.compLinks {
+			if l.sunfrozen == 0 {
 				continue
 			}
-			if s := st.cap / float64(st.unfrozen); s < share {
+			if s := l.scap / float64(l.sunfrozen); s < share {
 				share = s
 			}
 		}
-		for f := range n.flows {
+		for _, f := range n.compFlows {
 			if !f.frozen && f.RateLimit > 0 && f.RateLimit < share {
 				share = f.RateLimit
 			}
@@ -202,7 +281,7 @@ func (n *Network) computeRates() {
 		}
 		// Freeze every flow constrained at this share.
 		progressed := false
-		for f := range n.flows {
+		for _, f := range n.compFlows {
 			if f.frozen {
 				continue
 			}
@@ -210,8 +289,7 @@ func (n *Network) computeRates() {
 			bottled := false
 			if !capped {
 				for _, l := range f.Path {
-					st := states[l]
-					if st.unfrozen > 0 && st.cap/float64(st.unfrozen) <= share*(1+1e-12) {
+					if l.sunfrozen > 0 && l.scap/float64(l.sunfrozen) <= share*(1+1e-12) {
 						bottled = true
 						break
 					}
@@ -228,12 +306,11 @@ func (n *Network) computeRates() {
 			unfrozen--
 			progressed = true
 			for _, l := range f.Path {
-				st := states[l]
-				st.cap -= f.rate
-				if st.cap < 0 {
-					st.cap = 0
+				l.scap -= f.rate
+				if l.scap < 0 {
+					l.scap = 0
 				}
-				st.unfrozen--
+				l.sunfrozen--
 			}
 		}
 		if !progressed {
@@ -246,11 +323,11 @@ func (n *Network) computeRates() {
 // completion. Any state change bumps the epoch, so stale events no-op.
 func (n *Network) scheduleNextCompletion() {
 	n.epoch++
-	if len(n.flows) == 0 {
+	if len(n.active) == 0 {
 		return
 	}
 	soonest := sim.Time(math.MaxInt64)
-	for f := range n.flows {
+	for _, f := range n.active {
 		if f.rate <= 0 {
 			continue
 		}
@@ -265,14 +342,30 @@ func (n *Network) scheduleNextCompletion() {
 	if soonest == sim.Time(math.MaxInt64) {
 		panic("fabric: active flows but no positive rates (zero-capacity deadlock)")
 	}
-	epoch := n.epoch
-	n.eng.Schedule(soonest, func() {
-		if epoch != n.epoch {
+	ce := n.grabCompletionEvent()
+	ce.epoch = n.epoch
+	n.eng.Schedule(soonest, ce.fn)
+}
+
+// grabCompletionEvent takes a pooled completion event or builds a new one.
+func (n *Network) grabCompletionEvent() *completionEvent {
+	if k := len(n.cePool); k > 0 {
+		ce := n.cePool[k-1]
+		n.cePool = n.cePool[:k-1]
+		return ce
+	}
+	ce := &completionEvent{}
+	ce.fn = func() {
+		// This firing is the event's last use, so it can rejoin the pool
+		// immediately — the reshare below may re-arm with this very entry.
+		n.cePool = append(n.cePool, ce)
+		if ce.epoch != n.epoch {
 			return
 		}
 		n.advance()
-		n.reshare()
-	})
+		n.reshare(nil, nil)
+	}
+	return ce
 }
 
 // Quiesce advances accounting to the current time; call before reading

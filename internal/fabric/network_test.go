@@ -295,6 +295,53 @@ func TestWorkConservationProperty(t *testing.T) {
 	}
 }
 
+// Regression for retire-during-iteration: when several flows complete at the
+// exact same timestamp, one reshare must retire them all in a single pass
+// (finished flows are collected first, then removed) without disturbing the
+// survivors' reallocation.
+func TestSimultaneousCompletionsChurn(t *testing.T) {
+	eng := sim.New()
+	net := NewNetwork(eng)
+	shared := link("shared", 8)
+	other := link("other", 4)
+	// Four identical flows on the shared link: equal shares (2 GB/s each),
+	// equal bytes, so all four complete at exactly t = 1 s.
+	var doneAt [4]sim.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		net.StartFlow(&Flow{Path: []*Link{shared}, Bytes: 2e9}, func() { doneAt[i] = eng.Now() })
+	}
+	// A fifth flow on a disjoint link keeps running across the event.
+	survivor := &Flow{Path: []*Link{other}, Bytes: 8e9}
+	var survivorAt sim.Time
+	net.StartFlow(survivor, func() { survivorAt = eng.Now() })
+	// A sixth flow joins the shared link after the mass completion and
+	// should then own its full capacity.
+	late := &Flow{Path: []*Link{shared}, Bytes: 8e9}
+	var lateAt sim.Time
+	eng.ScheduleAt(sim.Seconds(1.5), func() { net.StartFlow(late, func() { lateAt = eng.Now() }) })
+	eng.Run()
+	for i, at := range doneAt {
+		if !almost(at.ToSeconds(), 1.0, 1e-6) {
+			t.Errorf("flow %d finished at %v, want 1s (simultaneous batch)", i, at)
+		}
+	}
+	if !almost(survivorAt.ToSeconds(), 2.0, 1e-6) {
+		t.Errorf("survivor finished at %v, want 2s", survivorAt)
+	}
+	// late starts at 1.5 s with 8 GB/s to itself: 8 GB / 8 GB/s = 1 s.
+	if !almost(lateAt.ToSeconds(), 2.5, 1e-6) {
+		t.Errorf("late flow finished at %v, want 2.5s", lateAt)
+	}
+	if net.ActiveFlows() != 0 {
+		t.Errorf("%d flows still active", net.ActiveFlows())
+	}
+	if shared.ActiveFlows() != 0 || other.ActiveFlows() != 0 {
+		t.Errorf("links report active flows after drain: %d, %d",
+			shared.ActiveFlows(), other.ActiveFlows())
+	}
+}
+
 func TestNegativeBytesPanics(t *testing.T) {
 	eng := sim.New()
 	net := NewNetwork(eng)

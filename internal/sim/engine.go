@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -52,31 +51,27 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by (time, seq): same-time events run in schedule order.
+func (a event) less(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+
+// heapArity is the branching factor of the event queue. A 4-ary heap is
+// shallower than a binary one and keeps sibling comparisons within one or two
+// cache lines, which matters because scheduling is the simulator's innermost
+// loop. Events are stored by value in a single slice, so the queue performs
+// no per-event allocation: popped slots are reused by later pushes and the
+// slice itself is the free list.
+const heapArity = 4
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with New.
 type Engine struct {
 	now    Time
-	events eventHeap
+	events []event // heapArity-ary min-heap ordered by event.less
 	seq    int64
 
 	// ctl is signalled by a process whenever it blocks or terminates,
@@ -85,6 +80,56 @@ type Engine struct {
 
 	procs   int // live processes (for leak detection)
 	stopped bool
+}
+
+// push inserts ev into the heap.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !ev.less(e.events[parent]) {
+			break
+		}
+		e.events[i] = e.events[parent]
+		i = parent
+	}
+	e.events[i] = ev
+}
+
+// pop removes and returns the minimum event. The heap must be non-empty.
+func (e *Engine) pop() event {
+	root := e.events[0]
+	n := len(e.events) - 1
+	last := e.events[n]
+	e.events[n] = event{} // release the fn reference for the GC
+	e.events = e.events[:n]
+	if n > 0 {
+		i := 0
+		for {
+			first := heapArity*i + 1
+			if first >= n {
+				break
+			}
+			min := first
+			end := first + heapArity
+			if end > n {
+				end = n
+			}
+			for j := first + 1; j < end; j++ {
+				if e.events[j].less(e.events[min]) {
+					min = j
+				}
+			}
+			if !e.events[min].less(last) {
+				break
+			}
+			e.events[i] = e.events[min]
+			i = min
+		}
+		e.events[i] = last
+	}
+	return root
 }
 
 // New returns an engine with the clock at zero.
@@ -102,7 +147,7 @@ func (e *Engine) ScheduleAt(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Schedule registers fn to run delay nanoseconds from now.
@@ -121,25 +166,25 @@ func (e *Engine) Stop() { e.stopped = true }
 // the final virtual time.
 func (e *Engine) Run() Time { return e.RunUntil(1<<62 - 1) }
 
-// RunUntil executes events with timestamps <= deadline, then sets the clock
-// to deadline if it advanced that far. It returns the final virtual time.
+// RunUntil executes events with timestamps <= deadline. It returns the final
+// virtual time, which is the deadline when work remains beyond it, or the
+// time of the last executed event when the queue drained (or Stop was called)
+// first — the clock does not jump to the deadline when the simulation simply
+// ran out of work, so callers can distinguish the two outcomes.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > deadline {
+		if e.events[0].at > deadline {
+			// Reached the horizon with work still queued: jump the clock
+			// to the deadline and leave the remaining events pending.
 			e.now = deadline
 			return e.now
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		next.fn()
+		ev := e.pop()
+		e.now = ev.at
+		ev.fn()
 	}
-	if e.now < deadline && len(e.events) == 0 {
-		// Clock does not jump to deadline when the simulation simply
-		// ran out of work; callers can distinguish the two outcomes.
-		return e.now
-	}
+	// Drained early or stopped: the clock stays at the last executed event.
 	return e.now
 }
 

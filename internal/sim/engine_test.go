@@ -98,6 +98,73 @@ func TestRunUntilStopsAtDeadline(t *testing.T) {
 	}
 }
 
+// Regression for the RunUntil restructure: when the queue drains before the
+// deadline the clock must stay at the last executed event, not jump to the
+// deadline.
+func TestRunUntilDrainedEarlyKeepsEventTime(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {})
+	e.Schedule(20, func() {})
+	if end := e.RunUntil(1000); end != 20 {
+		t.Errorf("drained-early RunUntil = %v, want 20 (last event time)", end)
+	}
+	if e.Now() != 20 {
+		t.Errorf("clock = %v after drain, want 20", e.Now())
+	}
+}
+
+// Regression companion: when events remain beyond the deadline the clock must
+// land exactly on the deadline and the later events stay pending.
+func TestRunUntilReachedDeadlineJumpsClock(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {})
+	e.Schedule(2000, func() {})
+	if end := e.RunUntil(1000); end != 1000 {
+		t.Errorf("reached-deadline RunUntil = %v, want 1000", end)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	// An empty queue below the deadline leaves the clock untouched.
+	if end := e.RunUntil(3000); end != 2000 {
+		t.Errorf("second RunUntil = %v, want 2000", end)
+	}
+}
+
+// The event queue must execute equal-time events in schedule order and
+// distinct times in ascending order — i.e. global (time, seq) order — for any
+// interleaving of pushes and pops. This pins the 4-ary value-heap replacement
+// of container/heap to the exact semantics golden files depend on.
+func TestHeapOrderMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		e := New()
+		type stamp struct {
+			at  Time
+			seq int
+		}
+		var want []stamp
+		var got []stamp
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(20))
+			s := stamp{at: at, seq: i}
+			want = append(want, s)
+			e.Schedule(at, func() { got = append(got, stamp{at: e.Now(), seq: s.seq}) })
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		e.Run()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: ran %d events, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: event %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestRunReturnsLastEventTime(t *testing.T) {
 	e := New()
 	e.Schedule(42, func() {})

@@ -1,0 +1,64 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The experiment suite replays many identical training configurations — the
+// same maximum-size run feeds Fig 6, Fig 7, Fig 8, Table IV and Table V — and
+// the simulator is deterministic, so a repeated Run is pure waste. RunCached
+// memoizes Run results keyed by a canonical rendering of the configuration.
+// Entries are computed at most once even when parallel experiment workers
+// request the same configuration concurrently.
+var runCache sync.Map // canonical config key -> *runCacheEntry
+
+type runCacheEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+// cacheKey returns a canonical key for the configuration, or ok=false when
+// the configuration cannot be cached (a FaultInjection hook is opaque: two
+// configs with different hooks would collide).
+func (c Config) cacheKey() (string, bool) {
+	if c.FaultInjection != nil {
+		return "", false
+	}
+	c = c.withDefaults()
+	placement := "-"
+	if c.Placement != nil {
+		placement = fmt.Sprintf("%s|%v|%v|%v",
+			c.Placement.Name, c.Placement.Drives, c.Placement.Volumes, c.Placement.RankVol)
+	}
+	return fmt.Sprintf("s%d o%d n%d m%+v tp%d pp%d b%d P{%s} i%d w%d ck%d tr%t win%d pb%t roce%g xbar%g",
+		c.Strategy, c.Offload, c.Nodes, c.Model, c.TensorParallel, c.PipelineParallel,
+		c.BatchPerGPU, placement, c.Iterations, c.Warmup, c.CheckpointEvery,
+		c.Trace, int64(c.Window), c.PurposeBuilt, c.RoCEBW, c.XbarBW), true
+}
+
+// RunCached executes the configuration, reusing the Result of an identical
+// earlier run in this process. Results are deterministic functions of the
+// configuration and are treated as immutable by all consumers, so sharing
+// one *Result across experiments is safe. Configurations with fault
+// injection hooks fall through to a plain Run.
+func RunCached(cfg Config) (*Result, error) {
+	key, ok := cfg.cacheKey()
+	if !ok {
+		return Run(cfg)
+	}
+	v, _ := runCache.LoadOrStore(key, &runCacheEntry{})
+	e := v.(*runCacheEntry)
+	e.once.Do(func() { e.res, e.err = Run(cfg) })
+	return e.res, e.err
+}
+
+// ResetRunCache drops all memoized results. Tests use it to force fresh
+// simulations when comparing independent executions.
+func ResetRunCache() {
+	runCache.Range(func(k, _ any) bool {
+		runCache.Delete(k)
+		return true
+	})
+}
