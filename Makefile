@@ -1,12 +1,13 @@
 GO ?= go
+# FUZZTIME bounds each fuzz target in fuzz-smoke; CI's nightly job raises it.
+FUZZTIME ?= 10s
 
-.PHONY: check test build vet bench clean
+.PHONY: check test build vet lint race fuzz-smoke bench clean
 
-## check: the full gate — vet, build, and race-enabled tests.
-check:
-	$(GO) vet ./...
-	$(GO) build ./...
-	$(GO) test -race ./...
+## check: the full correctness gate — vet, build, the simlint determinism &
+## invariant analysis, the race-enabled test suite, and a short fuzz smoke of
+## the fabric fair-share property suite.
+check: vet build lint race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -14,8 +15,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+## lint: run the repository's static determinism/invariant analysis.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
 test:
 	$(GO) test ./...
+
+## race: the whole test suite under the race detector (the PR-1 parallel
+## runner and the train run-cache are the concurrency hot spots).
+race:
+	$(GO) test -race ./...
+
+## fuzz-smoke: run every fuzz target in internal/fabric for FUZZTIME each.
+fuzz-smoke:
+	@set -e; for f in $$($(GO) test -list '^Fuzz' ./internal/fabric | grep '^Fuzz'); do \
+		echo "fuzz-smoke: $$f for $(FUZZTIME)"; \
+		$(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) ./internal/fabric; \
+	done
 
 ## bench: run the hot-path benchmarks and record machine-readable results.
 bench:

@@ -1,0 +1,100 @@
+// Command simlint runs the repository's determinism & invariant static
+// analysis (internal/lint) over the module's own source.
+//
+// Usage:
+//
+//	simlint [-v] [-list] [packages...]
+//
+// Packages default to ./... (the whole module). Findings print as
+// "file:line: [rule] message" and any finding makes the exit status 1;
+// loader or usage errors exit 2. Deliberate violations are silenced in
+// place with a "//lint:allow <rule> — reason" comment on the offending or
+// preceding line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"llmbw/internal/lint"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also report per-package type-check diagnostics and suppression counts")
+	list := flag.Bool("list", false, "list registered rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range lint.AllRules() {
+			fmt.Printf("%-24s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fail(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fail(err)
+	}
+	pkgs, err := loader.Load(flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			if len(p.TypeErrors) > 0 {
+				fmt.Fprintf(os.Stderr, "simlint: %s: %d type-check diagnostics (analysis continues with partial types)\n",
+					p.ImportPath, len(p.TypeErrors))
+			}
+		}
+	}
+
+	findings := lint.Run(lint.DefaultConfig(), lint.AllRules(), pkgs)
+	for _, f := range findings {
+		f.Pos.Filename = relativize(root, f.Pos.Filename)
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "simlint: %d package(s) clean\n", len(pkgs))
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("simlint: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func relativize(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "simlint:", err)
+	os.Exit(2)
+}

@@ -59,22 +59,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	var layerCounts []int
-	for _, tok := range strings.Split(*sizesArg, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
-		}
-		if tok == "max" {
-			layerCounts = append(layerCounts, maxLayers)
-			continue
-		}
-		b, err := strconv.ParseFloat(tok, 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: bad size %q: %v\n", tok, err)
-			os.Exit(2)
-		}
-		layerCounts = append(layerCounts, model.LayersForParams(int64(b*1e9)))
+	layerCounts, err := parseSizes(*sizesArg, maxLayers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
 	}
 
 	t := report.NewTable(
@@ -84,7 +72,7 @@ func main() {
 	// pool; rows are assembled in order afterwards, so the rendered table is
 	// identical to a serial sweep.
 	points := make([]*train.Result, len(layerCounts))
-	err := runner.Map(*parallel, len(layerCounts), func(i int) error {
+	err = runner.Map(*parallel, len(layerCounts), func(i int) error {
 		l := layerCounts[i]
 		if l > maxLayers {
 			return nil
@@ -121,4 +109,28 @@ func main() {
 	}
 	t.Render(os.Stdout)
 	fmt.Printf("maximum fit: %d layers (%.2fB params)\n", maxLayers, model.NewGPT(maxLayers).ParamsB())
+}
+
+// parseSizes converts the -sizes argument (comma-separated billions of
+// parameters, or "max" for the largest fit) into layer counts, preserving
+// argument order — the sweep table renders rows in exactly this order, so
+// the output for a given command line is reproducible.
+func parseSizes(arg string, maxLayers int) ([]int, error) {
+	var layerCounts []int
+	for _, tok := range strings.Split(arg, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if tok == "max" {
+			layerCounts = append(layerCounts, maxLayers)
+			continue
+		}
+		b, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %v", tok, err)
+		}
+		layerCounts = append(layerCounts, model.LayersForParams(int64(b*1e9)))
+	}
+	return layerCounts, nil
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"llmbw/internal/model"
+)
+
+// TestParseSizesOrderStable: the sweep's serialized table renders rows in
+// layerCounts order, so parsing must preserve the argument order exactly —
+// part of the ordered-map-emit audit of this command (its lookup maps are
+// only ever indexed, never ranged).
+func TestParseSizesOrderStable(t *testing.T) {
+	got, err := parseSizes("1.4, 0.7,max,,2.9", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{
+		model.LayersForParams(int64(1.4e9)),
+		model.LayersForParams(int64(0.7e9)),
+		99,
+		model.LayersForParams(int64(2.9e9)),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseSizes = %v, want %v", got, want)
+	}
+	// Parsing twice yields identical slices (no hidden map state).
+	again, err := parseSizes("1.4, 0.7,max,,2.9", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Errorf("parseSizes not stable: %v vs %v", got, again)
+	}
+}
+
+func TestParseSizesRejectsGarbage(t *testing.T) {
+	if _, err := parseSizes("1.4,banana", 10); err == nil {
+		t.Fatal("expected error for non-numeric size")
+	}
+}
+
+// TestFlagLookupTablesCovered keeps the usage strings honest: every strategy
+// and offload the flags document must resolve through the lookup maps.
+func TestFlagLookupTablesCovered(t *testing.T) {
+	for _, s := range []string{"ddp", "megatron", "zero1", "zero2", "zero3"} {
+		if _, ok := strategies[s]; !ok {
+			t.Errorf("strategy %q missing from lookup map", s)
+		}
+	}
+	for _, o := range []string{"none", "cpu", "nvme-opt", "nvme-opt+param"} {
+		if _, ok := offloads[o]; !ok {
+			t.Errorf("offload %q missing from lookup map", o)
+		}
+	}
+}

@@ -127,7 +127,9 @@ func (n *Network) SetCapacity(l *Link, capacity float64) {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("fabric: non-positive capacity for %s", l.Name))
 	}
-	if l.capacity == capacity {
+	// Bit-identical capacity means nothing changed; this idempotence fast
+	// path wants exact equality, not an epsilon.
+	if l.capacity == capacity { //lint:allow float-eq — deliberate idempotence test
 		return
 	}
 	n.advance()

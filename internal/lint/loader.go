@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis. Only non-test files are loaded: the contract applies to shipped
+// code, and tests are free to print maps or compare floats as they see fit.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-check diagnostics. Analysis proceeds with
+	// partial type information; rules skip nodes whose types are unknown.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks module packages from source. Imports inside
+// the module resolve recursively through the loader itself; standard-library
+// imports type-check from GOROOT source via go/importer's "source" compiler,
+// so no compiled export data and no third-party machinery is needed.
+type Loader struct {
+	Root    string // module root directory (holds go.mod)
+	ModPath string // module path declared in go.mod
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package // by import path; nil entry marks in-progress
+}
+
+// NewLoader builds a loader for the module rooted at dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    abs,
+		ModPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+	}, nil
+}
+
+// Fset exposes the shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// Load resolves the given patterns to packages and loads them (plus their
+// intra-module dependencies, which are type-checked but not returned unless
+// matched). Supported patterns: "./..." for the whole module, "./dir" or
+// "./dir/..." relative to the module root, and full import paths.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	all, err := l.modulePackages()
+	if err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	for _, pat := range patterns {
+		ipat, err := l.importPattern(pat)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for _, ip := range all {
+			if matchPattern(ipat, ip) {
+				want[ip] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: pattern %q matches no packages", pat)
+		}
+	}
+	var out []*Package
+	for _, ip := range all { // all is sorted, so output order is stable
+		if !want[ip] {
+			continue
+		}
+		pkg, err := l.loadPackage(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// importPattern normalizes a command-line pattern to an import-path pattern.
+func (l *Loader) importPattern(pat string) (string, error) {
+	switch {
+	case pat == "." || pat == "./":
+		return l.ModPath, nil
+	case strings.HasPrefix(pat, "./"):
+		rest := strings.TrimPrefix(pat, "./")
+		if rest == "..." {
+			return l.ModPath + "/...", nil
+		}
+		return l.ModPath + "/" + strings.TrimSuffix(rest, "/"), nil
+	case pat == "...":
+		return l.ModPath + "/...", nil
+	case strings.Contains(pat, "/") || pat == l.ModPath:
+		return pat, nil
+	default:
+		return "", fmt.Errorf("lint: unsupported package pattern %q", pat)
+	}
+}
+
+// modulePackages walks the module tree and returns every import path that
+// contains at least one non-test .go file, sorted.
+func (l *Loader) modulePackages() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		files, err := sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.Root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.ModPath)
+		} else {
+			out = append(out, l.ModPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// sourceFiles lists the non-test .go files of a directory, sorted.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.ModPath {
+		return l.Root
+	}
+	rel := strings.TrimPrefix(importPath, l.ModPath+"/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// inModule reports whether the import path belongs to the loaded module.
+func (l *Loader) inModule(path string) bool {
+	return path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")
+}
+
+// Import implements types.Importer: module packages load recursively through
+// the loader, everything else defers to the source importer for the standard
+// library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if !l.inModule(path) {
+		return l.std.Import(path)
+	}
+	pkg, err := l.loadPackage(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// loadPackage parses and type-checks one module package (cached).
+func (l *Loader) loadPackage(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+		}
+		return pkg, nil
+	}
+	l.pkgs[importPath] = nil // cycle guard
+	dir := l.dirFor(importPath)
+	files, err := sourceFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: l.fset}
+	for _, f := range files {
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, af)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// floatEq flags == and != between two computed floating-point values.
+// Comparing against a compile-time constant (0, math.MaxFloat64, a sentinel)
+// is a deliberate bit-pattern test and stays allowed; comparing two computed
+// floats is almost always a rounding-sensitive bug that should use an epsilon
+// helper — or carry a //lint:allow float-eq comment arguing why bit equality
+// is the intended semantics (e.g. an idempotence fast path).
+type floatEq struct{}
+
+func (floatEq) Name() string { return "float-eq" }
+func (floatEq) Doc() string {
+	return "flag exact ==/!= between computed floats; compare with an epsilon"
+}
+
+func (floatEq) Check(c *Checker, pkg *Package) {
+	eachFile(pkg, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pkg.Info.Types[be.X], pkg.Info.Types[be.Y]
+			if !isFloat(xt.Type) || !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil || yt.Value != nil {
+				return true // constant comparison: a deliberate exact test
+			}
+			c.Reportf(be.OpPos, "exact float comparison (%s): use an epsilon or justify with //lint:allow float-eq", be.Op)
+			return true
+		})
+	})
+}

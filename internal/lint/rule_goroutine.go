@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroutineSharedWrite flags writes to captured state inside `go func() {...}`
+// closures. Simulation code is single-threaded by design (sim.Proc goroutines
+// interleave cooperatively); the one place real concurrency is coordinated is
+// internal/runner, which the default config exempts. Anywhere else, a go
+// closure assigning to a variable captured from the enclosing scope — or
+// through a captured pointer — is a data race the -race gate will eventually
+// catch nondeterministically; this rule catches it at lint time.
+type goroutineSharedWrite struct{}
+
+func (goroutineSharedWrite) Name() string { return "goroutine-shared-write" }
+func (goroutineSharedWrite) Doc() string {
+	return "flag writes to captured variables inside go closures"
+}
+
+func (goroutineSharedWrite) Check(c *Checker, pkg *Package) {
+	eachFile(pkg, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkClosureWrites(c, pkg.Info, fl)
+			return true
+		})
+	})
+}
+
+// checkClosureWrites reports assignments and inc/dec statements anywhere
+// inside the closure whose target is rooted at a variable declared outside
+// the closure's extent.
+func checkClosureWrites(c *Checker, info *types.Info, fl *ast.FuncLit) {
+	report := func(target ast.Expr) {
+		id := rootIdent(target)
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return // declared in this statement, a field name, or unresolved
+		}
+		if obj.Pos() >= fl.Pos() && obj.Pos() < fl.End() {
+			return // closure-local variable (includes the closure's params)
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); isChan && target == ast.Expr(id) {
+			return // reassigning a captured channel variable is out of scope
+		}
+		c.Reportf(target.Pos(), "go closure writes captured %q: shared-state race (communicate over channels or confine to internal/runner)", id.Name)
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				report(lhs)
+			}
+		case *ast.IncDecStmt:
+			report(st.X)
+		}
+		return true
+	})
+}

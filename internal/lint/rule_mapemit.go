@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// orderedMapEmit flags `range` over a map whose body reaches an emit sink —
+// fmt.Fprint*/Print*, io.Writer / strings.Builder writes, encoder calls or
+// report-table rows — because Go randomizes map iteration order and any bytes
+// emitted from inside such a loop change between runs. The deterministic
+// idiom is: collect keys, sort, range the sorted slice (then the loop no
+// longer ranges a map and the rule is satisfied).
+type orderedMapEmit struct{}
+
+func (orderedMapEmit) Name() string { return "ordered-map-emit" }
+func (orderedMapEmit) Doc() string {
+	return "flag map iteration that feeds serialized output without a sorted key order"
+}
+
+// emitMethods are method names treated as serialization sinks: the io.Writer
+// and strings.Builder write family, encoders, and report.Table.Row.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Row": true,
+}
+
+// emitFmtFuncs are the fmt emitters (Sprint* builds a value, it does not emit).
+var emitFmtFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func (orderedMapEmit) Check(c *Checker, pkg *Package) {
+	eachFile(pkg, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findEmitSink(pkg.Info, rs.Body); sink != "" {
+				c.Reportf(rs.Pos(), "map iteration reaches emit sink %s: iterate sorted keys instead (map order is randomized)", sink)
+			}
+			return true
+		})
+	})
+}
+
+// findEmitSink returns the name of the first serialization sink called inside
+// the block, or "".
+func findEmitSink(info *types.Info, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if path, name, ok := pkgFuncRef(info, sel); ok {
+			if path == "fmt" && emitFmtFuncs[name] {
+				sink = "fmt." + name
+			}
+			return true
+		}
+		// A method call: treat the write/encode family as sinks regardless
+		// of receiver type — in the emitting packages these are io.Writer,
+		// strings.Builder, csv/json encoders and report tables.
+		if emitMethods[sel.Sel.Name] {
+			sink = sel.Sel.Name
+		}
+		return true
+	})
+	return sink
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// noWallclock forbids wall-clock reads and the globally seeded rand source in
+// simulation packages. The simulator's clock is virtual; a time.Now or a bare
+// rand.Float64 in model code makes two runs of the same configuration
+// diverge, which silently breaks the byte-identical golden contract.
+type noWallclock struct{}
+
+func (noWallclock) Name() string { return "no-wallclock" }
+func (noWallclock) Doc() string {
+	return "forbid time.Now/time.Since and the global math/rand source in simulation code"
+}
+
+// randConstructors are the math/rand names that merely build an explicitly
+// seeded generator; those stay deterministic and are allowed.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func (noWallclock) Check(c *Checker, pkg *Package) {
+	eachFile(pkg, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFuncRef(pkg.Info, sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && (name == "Now" || name == "Since"):
+				c.Reportf(sel.Pos(), "time.%s in simulation code: use the engine's virtual clock", name)
+			case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+				c.Reportf(sel.Pos(), "rand.%s uses the global rand source: seed an explicit rand.New(rand.NewSource(...))", name)
+			}
+			return true
+		})
+	})
+}

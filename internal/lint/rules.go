@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFuncRef resolves a selector expression to (package path, name) when its
+// base is a package name — e.g. time.Now -> ("time", "Now"). Returns ok=false
+// for field/method selectors and unresolved identifiers.
+func pkgFuncRef(info *types.Info, sel *ast.SelectorExpr) (path, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isFloat reports whether t is (or defaults to) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// rootIdent unwraps selectors, indexing, derefs and parens down to the
+// left-most identifier of an lvalue expression (nil when none).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// eachFile walks every file of the package with the visitor.
+func eachFile(pkg *Package, visit func(f *ast.File)) {
+	for _, f := range pkg.Files {
+		visit(f)
+	}
+}

@@ -1,0 +1,34 @@
+// Package floateq exercises the float-eq rule.
+package floateq
+
+import "math"
+
+// Bad compares two computed floats exactly.
+func Bad(a, b float64) bool {
+	return a == b // want float-eq
+}
+
+// BadNeq is the != form on float32.
+func BadNeq(a, b float32) bool {
+	return a != b // want float-eq
+}
+
+// GoodConst compares against compile-time constants — deliberate sentinels.
+func GoodConst(a float64) bool {
+	return a == 0 || a == math.MaxFloat64
+}
+
+// GoodEpsilon is the required idiom for computed values.
+func GoodEpsilon(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// GoodInts: integer equality is out of scope.
+func GoodInts(a, b int) bool {
+	return a == b
+}
+
+// Allowed justifies a bit-identity check.
+func Allowed(a, b float64) bool {
+	return a == b //lint:allow float-eq — bit-identity cache key
+}

@@ -1,0 +1,54 @@
+// Package goroutine exercises the goroutine-shared-write rule.
+package goroutine
+
+import "sync"
+
+// Bad writes captured variables from go closures.
+func Bad() int {
+	total := 0
+	counts := map[string]int{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		total++ // want goroutine-shared-write
+	}()
+	go func() {
+		defer wg.Done()
+		counts["x"] = 1 // want goroutine-shared-write
+	}()
+	wg.Wait()
+	return total
+}
+
+// BadPointer mutates shared state through a captured pointer.
+func BadPointer(s *[]int, done chan struct{}) {
+	go func() {
+		*s = append(*s, 1) // want goroutine-shared-write
+		close(done)
+	}()
+}
+
+// Good communicates over a channel; closure-local state is fine.
+func Good(in []int) int {
+	out := make(chan int)
+	go func() {
+		sum := 0
+		for _, v := range in {
+			sum += v
+		}
+		out <- sum
+	}()
+	return <-out
+}
+
+// Allowed documents an externally synchronized write.
+func Allowed(mu *sync.Mutex) {
+	x := 0
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+		x = 1 //lint:allow goroutine-shared-write — guarded by mu
+	}()
+	_ = x
+}

@@ -1,0 +1,54 @@
+// Package mapemit exercises the ordered-map-emit rule.
+package mapemit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Bad emits from inside a map range: iteration order is randomized.
+func Bad(w io.Writer, m map[string]int) {
+	for k, v := range m { // want ordered-map-emit
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// BadBuilder writes to a strings.Builder inside a map range.
+func BadBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want ordered-map-emit
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Good sorts the keys first; the emitting loop ranges a slice.
+func Good(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// GoodAggregate only folds values; nothing is emitted in the loop.
+func GoodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Allowed documents why unordered emission is fine here.
+func Allowed(w io.Writer, m map[string]int) {
+	//lint:allow ordered-map-emit — debug dump, never golden-compared
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

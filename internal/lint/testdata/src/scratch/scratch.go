@@ -1,0 +1,53 @@
+// Package scratch exercises the scratch-escape rule; the fixture config
+// marks pooledScratch as a pooled type.
+package scratch
+
+// pooledScratch stands in for a recycled solver buffer.
+type pooledScratch struct {
+	buf []float64
+}
+
+// pool is the internal free list; internal use of the pooled type is fine.
+var pool []*pooledScratch
+
+// grab is unexported: handing pooled objects around inside the package is
+// the whole point of a pool.
+func grab() *pooledScratch {
+	if n := len(pool); n > 0 {
+		s := pool[n-1]
+		pool = pool[:n-1]
+		return s
+	}
+	return &pooledScratch{}
+}
+
+// Leak returns a pooled object across the exported API.
+func Leak() *pooledScratch { // want scratch-escape
+	return grab()
+}
+
+// LeakSlice hides the pooled pointer inside a slice result.
+func LeakSlice() []*pooledScratch { // want scratch-escape
+	return pool
+}
+
+// Holder exposes a pooled object through an exported field.
+type Holder struct {
+	Scratch *pooledScratch // want scratch-escape
+	private *pooledScratch // unexported field: fine
+}
+
+// Solver keeps its pool encapsulated behind unexported fields.
+type Solver struct {
+	scratch []*pooledScratch
+}
+
+// NewSolver returning the enclosing type is fine: the pool does not escape.
+func NewSolver() *Solver { return &Solver{} }
+
+// Solve is an exported method with clean results.
+func (s *Solver) Solve() float64 {
+	sc := grab()
+	defer func() { pool = append(pool, sc) }()
+	return float64(len(sc.buf))
+}

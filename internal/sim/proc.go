@@ -30,7 +30,9 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 	e.Schedule(0, func() {
 		go func() {
 			defer func() {
-				e.procs--
+				// Safe despite running on the process goroutine: the ctl
+				// send below hands control back before the engine reads it.
+				e.procs-- //lint:allow goroutine-shared-write — serialized by the ctl handshake
 				e.ctl <- struct{}{}
 			}()
 			<-p.resume

@@ -1,0 +1,49 @@
+package stress
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"llmbw/internal/fabric"
+	"llmbw/internal/sim"
+)
+
+// renderResult serializes a BandwidthResult the way the reports do: by
+// iterating fabric.MeasuredClasses (the paper's fixed column order), never
+// the Stats/Theoretical maps themselves.
+func renderResult(w *bytes.Buffer, r BandwidthResult) {
+	fmt.Fprintf(w, "%s over %v\n", r.Scenario, r.Duration)
+	for _, class := range fabric.MeasuredClasses() {
+		st := r.Stats[class]
+		fmt.Fprintf(w, "%s avg=%.3f p90=%.3f peak=%.3f theo=%.1f\n",
+			class, st.Avg/1e9, st.P90/1e9, st.Peak/1e9, r.Theoretical[class]/1e9)
+	}
+}
+
+// TestStressRenderByteStable runs the same stress scenario on two fresh
+// clusters and requires the serialized statistics to match byte for byte —
+// the ordered-map-emit audit regression for this package's map-typed
+// results.
+func TestStressRenderByteStable(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		renderResult(&bufs[i], CPURoCEStress(false, 500*sim.Millisecond))
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Errorf("stress renderings differ across identical runs:\n%s\n----\n%s",
+			bufs[0].String(), bufs[1].String())
+	}
+	// The map key set must stay inside the rendered (MeasuredClasses) set,
+	// or data would be collected that no report can show.
+	res := CPURoCEStress(false, 100*sim.Millisecond)
+	shown := map[fabric.Class]bool{}
+	for _, c := range fabric.MeasuredClasses() {
+		shown[c] = true
+	}
+	for c := range res.Stats {
+		if !shown[c] {
+			t.Errorf("stats class %s is not in MeasuredClasses and would never render", c)
+		}
+	}
+}

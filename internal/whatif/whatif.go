@@ -124,6 +124,16 @@ func BatchSizeSweep(batches []int) ([]Point, error) {
 	return out, nil
 }
 
+// xbarScenarios is the display order of the crossbar-ablation results — the
+// paper's Fig 4 row order. XbarAblation keys its maps with exactly these
+// names and XbarReport iterates this slice (never the maps), which is what
+// keeps the rendered table byte-stable; a determinism regression test pins
+// the two together.
+var xbarScenarios = []string{
+	"CPU-RoCE same-socket", "CPU-RoCE cross-socket",
+	"GPU-RoCE same-socket", "GPU-RoCE cross-socket",
+}
+
 // XbarAblation reruns the Fig 4 stress tests with the I/O-die crossbar
 // contention effectively removed (budget raised to the full SerDes rate),
 // isolating how much of the paper's degradation the hypothesis explains.
@@ -221,10 +231,7 @@ func XbarReport(w io.Writer, dur sim.Time) error {
 	with, without := XbarAblation(dur)
 	t := report.NewTable("Ablation: I/O-die crossbar contention (attained fraction of RoCE theoretical)",
 		"scenario", "with crossbar", "without", "paper (with)")
-	for _, k := range []string{
-		"CPU-RoCE same-socket", "CPU-RoCE cross-socket",
-		"GPU-RoCE same-socket", "GPU-RoCE cross-socket",
-	} {
+	for _, k := range xbarScenarios {
 		t.Row(k, fmt.Sprintf("%.0f%%", with[k]*100), fmt.Sprintf("%.0f%%", without[k]*100),
 			fmt.Sprintf("%.0f%%", report.Fig4Stress[k]*100))
 	}
