@@ -34,10 +34,13 @@ fuzz-smoke:
 		$(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) ./internal/fabric; \
 	done
 
-## bench: run the hot-path benchmarks and record machine-readable results.
+## bench: run the hot-path benchmarks and record machine-readable results —
+## the substrate micro-benchmarks in BENCH_fabric.json and the repeated-
+## collective replay-vs-rebuild macro-benchmark in BENCH_collective.json.
 bench:
 	$(GO) test -run '^$$' -bench 'FabricFairShare|SimEngineEvents|CollectiveAllReduce' -benchmem -json . > BENCH_fabric.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_fabric.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
+	$(GO) test -run '^$$' -bench 'CollectiveReplaySteady|CollectiveRebuildSteady' -benchmem -json . > BENCH_collective.json
+	@grep -oh '"Output":"Benchmark[^"]*' BENCH_fabric.json BENCH_collective.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
 
 clean:
-	rm -f BENCH_fabric.json
+	rm -f BENCH_fabric.json BENCH_collective.json

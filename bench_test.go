@@ -220,6 +220,41 @@ func BenchmarkCollectiveAllReduce(b *testing.B) {
 	b.ReportMetric(dur.ToSeconds()*1000, "simulated-ms")
 }
 
+// benchCollectiveSteady is the repeated-collective macro-benchmark: one
+// cluster, one group, the same 8-rank dual-node all-reduce issued back to
+// back — the steady state every training iteration lives in. With compiled
+// plans the shape is built once and replayed (zero allocations per issue);
+// without, flows, stream caps and closures are rebuilt per issue. The pair
+// quantifies the win recorded in BENCH_collective.json.
+func benchCollectiveSteady(b *testing.B, compiled bool) {
+	defer func(old bool) { collective.CompiledPlans = old }(collective.CompiledPlans)
+	collective.CompiledPlans = compiled
+	cfg := topology.DefaultConfig(2)
+	cfg.Window = sim.Time(1) << 60 // telemetry buckets must not grow with virtual time
+	c := topology.New(cfg)
+	g := collective.NewGroup(c, collective.NodeMajorRanks(2, 4))
+	remaining := 0
+	var restart func()
+	restart = func() {
+		remaining--
+		if remaining > 0 {
+			g.Start(collective.AllReduce, 1e9, restart)
+		}
+	}
+	// Warm up: compile the plan, grow the fabric registries and event pool.
+	remaining = 3
+	g.Start(collective.AllReduce, 1e9, restart)
+	c.Eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	remaining = b.N
+	g.Start(collective.AllReduce, 1e9, restart)
+	c.Eng.Run()
+}
+
+func BenchmarkCollectiveReplaySteady(b *testing.B)  { benchCollectiveSteady(b, true) }
+func BenchmarkCollectiveRebuildSteady(b *testing.B) { benchCollectiveSteady(b, false) }
+
 // BenchmarkStressGPURoCE measures the Fig 4 GPUDirect stress scenario.
 func BenchmarkStressGPURoCE(b *testing.B) {
 	var frac float64

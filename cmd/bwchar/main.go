@@ -30,6 +30,7 @@ func main() {
 	artifacts := flag.String("artifacts", "", "directory for machine-readable artifacts (Chrome traces, CSV series)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently; 1 runs serially")
 	flag.Parse()
+	*parallel = runner.ClampParallel(*parallel)
 
 	if *list {
 		fmt.Println("paper reproductions:")

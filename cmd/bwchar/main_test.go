@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"llmbw/internal/runner"
+)
+
+// TestParallelFlagClamped: `-parallel 0` and negative values used to reach
+// runner.Run raw, where parallel <= 0 selects GOMAXPROCS workers — the
+// opposite of what an explicit zero asks for. The flag value must clamp to
+// serial first.
+func TestParallelFlagClamped(t *testing.T) {
+	for flagValue, want := range map[int]int{-4: 1, -1: 1, 0: 1, 1: 1, 8: 8} {
+		if got := runner.ClampParallel(flagValue); got != want {
+			t.Errorf("ClampParallel(%d) = %d, want %d", flagValue, got, want)
+		}
+	}
+}
+
+// TestClampedSerialRunsJobs: a clamped flag value drives the pool exactly
+// like an explicit -parallel 1 — every job runs and output appears in
+// submission order.
+func TestClampedSerialRunsJobs(t *testing.T) {
+	var out bytes.Buffer
+	jobs := make([]runner.Job, 3)
+	for i := range jobs {
+		i := i
+		jobs[i] = runner.Job{
+			ID:  fmt.Sprintf("job%d", i),
+			Run: func(w io.Writer) error { _, err := fmt.Fprintf(w, "job%d\n", i); return err },
+		}
+	}
+	if err := runner.Run(&out, runner.ClampParallel(0), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.String(), "job0\njob1\njob2\n"; got != want {
+		t.Errorf("serial clamped run wrote %q, want %q", got, want)
+	}
+}

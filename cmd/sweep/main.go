@@ -41,6 +41,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON summaries instead of a table")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep points to simulate concurrently; 1 runs serially")
 	flag.Parse()
+	*parallel = runner.ClampParallel(*parallel)
 
 	strat, ok := strategies[*strategy]
 	if !ok {

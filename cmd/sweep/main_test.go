@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"llmbw/internal/model"
+	"llmbw/internal/runner"
 )
 
 // TestParseSizesOrderStable: the sweep's serialized table renders rows in
@@ -38,6 +39,17 @@ func TestParseSizesOrderStable(t *testing.T) {
 func TestParseSizesRejectsGarbage(t *testing.T) {
 	if _, err := parseSizes("1.4,banana", 10); err == nil {
 		t.Fatal("expected error for non-numeric size")
+	}
+}
+
+// TestParallelFlagClamped: `-parallel 0` and negative values mean "no
+// concurrency", not "GOMAXPROCS workers" — they must clamp to serial before
+// reaching the worker pool.
+func TestParallelFlagClamped(t *testing.T) {
+	for flagValue, want := range map[int]int{-4: 1, -1: 1, 0: 1, 1: 1, 8: 8} {
+		if got := runner.ClampParallel(flagValue); got != want {
+			t.Errorf("ClampParallel(%d) = %d, want %d", flagValue, got, want)
+		}
 	}
 }
 

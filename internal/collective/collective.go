@@ -100,6 +100,13 @@ type Group struct {
 	hops    []topology.Route // ring hop i: ranks[i] -> ranks[(i+1)%n]
 	rhops   []topology.Route // reverse ring hop i: ranks[(i+1)%n] -> ranks[i]
 	crosses []bool           // hop i crosses the node boundary
+
+	// plans is the per-shape compiled-plan free list (see Plan); compiled
+	// and replays are its probes. hPool recycles released Handles.
+	plans    map[planKey][]*Plan
+	compiled int
+	replays  int64
+	hPool    []*Handle
 }
 
 // NewGroup builds a collective group over the given GPUs. The ring order is
@@ -173,6 +180,20 @@ func (g *Group) StartRings(op Op, payload, hopRateLimit float64, rings int, onDo
 	if rings != 1 && rings != 2 {
 		panic(fmt.Sprintf("collective: unsupported ring count %d", rings))
 	}
+	if !CompiledPlans {
+		g.startRingsDirect(op, payload, hopRateLimit, rings, onDone)
+		return
+	}
+	p := g.acquirePlan(planKey{op: op, payload: payload, limit: hopRateLimit, rings: int8(rings)})
+	p.start(onDone)
+}
+
+// startRingsDirect is the rebuild-per-issue ring path: flows, stream caps and
+// completion closures are constructed from scratch. It is the reference the
+// compiled-plan path is measured (and determinism-tested) against.
+func (g *Group) startRingsDirect(op Op, payload, hopRateLimit float64, rings int, onDone func()) {
+	n := len(g.ranks)
+	eng := g.cluster.Eng
 	wire := WireBytesPerHop(op, n, payload)
 	latency := sim.Time(Steps(op, n)) * topology.LatNCCLStep
 	type leg struct {
@@ -190,18 +211,7 @@ func (g *Group) StartRings(op Op, payload, hopRateLimit float64, rings int, onDo
 			legs = append(legs, leg{g.hops[i], wire, g.crosses[i]})
 		}
 	}
-	frac := FusedStreamFraction
-	if rings == 1 {
-		frac = PartitionedStreamFraction
-	}
-	if eff := g.cluster.Cfg.StreamEff; eff > 0 {
-		// Platform override (e.g. purpose-built InfiniBand rails); the
-		// partitioned penalty keeps its relative shape.
-		frac = eff
-		if rings == 1 {
-			frac = eff * PartitionedStreamFraction / FusedStreamFraction
-		}
-	}
+	frac := streamFraction(g.cluster, rings)
 	remaining := len(legs)
 	for i, l := range legs {
 		f := l.route.Flow(fmt.Sprintf("%s/hop%d", op, i), l.bytes)
@@ -227,15 +237,60 @@ func (g *Group) Run(p *sim.Proc, op Op, payload float64) {
 }
 
 // Handle tracks an asynchronous collective (or any deferred completion).
+// Handles from Group.NewHandle are pooled: the owner may return a finished
+// handle with Release, after which it must not be touched.
 type Handle struct {
 	done    bool
+	firing  bool // Fire is mid-iteration; defer any Release until it ends
+	release bool // Release was requested during Fire
 	waiters []func()
 	eng     *sim.Engine
+	owner   *Group // pool to Release into; nil for unpooled handles
 }
 
 // NewPendingHandle returns an unfired handle; callers complete it with Fire.
 // Used to chain operations that have not started yet (comm queues).
+//
+//lint:allow scratch-escape — unpooled constructor; the handle is owned by the caller
 func NewPendingHandle(eng *sim.Engine) *Handle { return &Handle{eng: eng} }
+
+// NewHandle returns an unfired handle drawn from the group's pool. The
+// caller completes it with Fire and, once no reference remains, may return
+// it with Release; a handle that is never released simply falls out of the
+// pool.
+//
+//lint:allow scratch-escape — pooled by design; Release documents the ownership contract
+func (g *Group) NewHandle() *Handle {
+	if k := len(g.hPool); k > 0 {
+		h := g.hPool[k-1]
+		g.hPool[k-1] = nil
+		g.hPool = g.hPool[:k-1]
+		return h
+	}
+	return &Handle{eng: g.cluster.Eng, owner: g}
+}
+
+// Release returns a pooled handle to its owning group for reuse. Only the
+// code that obtained the handle from NewHandle may call it, exactly once,
+// after every waiter has run and no other reference remains. Calling it from
+// inside one of the handle's own Fire callbacks is allowed: the return to the
+// pool is deferred until Fire finishes. No-op for unpooled handles.
+func (h *Handle) Release() {
+	if h.owner == nil {
+		return
+	}
+	if h.firing {
+		h.release = true
+		return
+	}
+	h.recycle()
+}
+
+func (h *Handle) recycle() {
+	h.done = false
+	h.waiters = h.waiters[:0]
+	h.owner.hPool = append(h.owner.hPool, h)
+}
 
 // Fire marks the handle complete and runs registered callbacks. Must be
 // called at most once, from engine context.
@@ -244,10 +299,19 @@ func (h *Handle) Fire() {
 		panic("collective: handle fired twice")
 	}
 	h.done = true
+	h.firing = true
 	ws := h.waiters
-	h.waiters = nil
-	for _, w := range ws {
-		w()
+	// Truncate rather than nil so a pooled handle keeps its waiter backing
+	// array across reuse. The firing flag keeps the array out of the pool
+	// while ws is iterated, so no new waiters can alias it.
+	h.waiters = h.waiters[:0]
+	for i := range ws {
+		ws[i]()
+	}
+	h.firing = false
+	if h.release {
+		h.release = false
+		h.recycle()
 	}
 }
 
@@ -261,9 +325,12 @@ func (h *Handle) Then(fn func()) {
 	h.waiters = append(h.waiters, fn)
 }
 
-// StartAsync launches the collective and returns a Handle to wait on.
+// StartAsync launches the collective and returns a Handle to wait on. The
+// handle is pooled; callers that are done with it may Release it.
+//
+//lint:allow scratch-escape — pooled handle hand-off; Release documents the contract
 func (g *Group) StartAsync(op Op, payload float64) *Handle {
-	h := NewPendingHandle(g.cluster.Eng)
+	h := g.NewHandle()
 	g.Start(op, payload, h.Fire)
 	return h
 }

@@ -48,6 +48,43 @@ func (g *Group) StartTree(payload float64, onDone func()) {
 		eng.Schedule(0, onDone)
 		return
 	}
+	if !CompiledPlans {
+		g.startTreeDirect(payload, onDone)
+		return
+	}
+	p := g.acquirePlan(planKey{op: AllReduce, payload: payload, tree: true})
+	p.start(onDone)
+}
+
+// compileTree mirrors startTreeDirect: one flow per tree edge in edge order,
+// each carrying the payload up and down.
+func (p *Plan) compileTree() {
+	g := p.g
+	n := len(g.ranks)
+	p.latency = sim.Time(TreeSteps(n)) * topology.LatNCCLStep
+	p.frac = FusedStreamFraction
+	if eff := g.cluster.Cfg.StreamEff; eff > 0 {
+		p.frac = eff
+	}
+	for i, e := range treeEdges(n) {
+		a, b := g.ranks[e[0]], g.ranks[e[1]]
+		var route topology.Route
+		cross := a.Node != b.Node
+		if cross {
+			route = g.cluster.GPUToRemoteGPU(a, b)
+		} else {
+			route = g.cluster.GPUToGPU(a, b)
+		}
+		p.addLeg(route, fmt.Sprintf("tree-allreduce/edge%d", i), 2*p.key.payload, cross)
+	}
+	p.applyCrossCaps()
+}
+
+// startTreeDirect is the rebuild-per-issue tree path, kept as the reference
+// for the compiled-plan determinism tests.
+func (g *Group) startTreeDirect(payload float64, onDone func()) {
+	n := len(g.ranks)
+	eng := g.cluster.Eng
 	latency := sim.Time(TreeSteps(n)) * topology.LatNCCLStep
 	edges := treeEdges(n)
 	remaining := len(edges)

@@ -35,6 +35,15 @@ func (f *Flow) Rate() float64 { return f.rate }
 // Done reports whether the flow has completed.
 func (f *Flow) Done() bool { return f.done }
 
+// BatchAdmission selects the admission path StartFlows uses: true (the
+// default) admits a whole batch with one advance and one progressive-filling
+// pass per touched component; false falls back to one StartFlow call per
+// flow, the pre-batching behaviour. The two paths are byte-identical in
+// simulation outcome (pinned by the determinism tests); the knob exists so
+// those tests can compare them. It must not be toggled while a simulation is
+// running.
+var BatchAdmission = true
+
 // Network manages active flows over the link graph and advances them in
 // virtual time.
 //
@@ -49,6 +58,14 @@ type Network struct {
 	active []*Flow // dense registry; Flow.idx is the position
 	lastAt sim.Time
 	epoch  int64 // invalidates stale completion events
+
+	// capEpoch counts SetCapacity calls; callers that cache link-derived
+	// rate limits (compiled collective plans) revalidate against it.
+	capEpoch int64
+
+	// fillPasses counts progressive-filling rate recomputations — the
+	// reshare-count probe batched admission is measured by.
+	fillPasses int64
 
 	// cePool recycles completion events (and their bound closures) so
 	// steady-state re-arming allocates nothing.
@@ -83,6 +100,18 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 // ActiveFlows returns the number of in-flight flows.
 func (n *Network) ActiveFlows() int { return len(n.active) }
 
+// Reshares returns the number of progressive-filling rate recomputations the
+// network has performed — one per touched component for batched admission,
+// one per StartFlow/SetCapacity/completion otherwise. It is a diagnostic
+// probe for tests and instrumentation.
+func (n *Network) Reshares() int64 { return n.fillPasses }
+
+// CapacityEpoch returns a counter that increments on every effective
+// SetCapacity call. Callers caching values derived from link capacities
+// (e.g. compiled collective plans caching cross-node stream caps) compare
+// epochs to decide whether to refresh.
+func (n *Network) CapacityEpoch() int64 { return n.capEpoch }
+
 // StartFlow begins transferring f and invokes onDone (from engine context)
 // when the last byte arrives. Zero-byte flows complete after one scheduler
 // tick. Flows must have a non-empty path unless they are pure-latency
@@ -115,6 +144,76 @@ func (n *Network) StartFlow(f *Flow, onDone func()) {
 	n.reshare(f, nil)
 }
 
+// StartFlows admits a batch of flows in one step, invoking onDone once per
+// flow as each completes (the same callback serves every flow in the batch;
+// it may be nil). Admitting k flows through StartFlow costs k advances and k
+// component reshares, each invalidated by the next; StartFlows performs one
+// advance and one progressive-filling pass per touched component, which is
+// what makes steady-state ring collectives cheap — a 2n-leg dual-ring
+// admission drops from 2n reshares to one.
+//
+// The simulation outcome is byte-identical to calling StartFlow on each flow
+// in order within one event: no virtual time passes between admissions, and
+// each component's rates are computed with exactly the flow ordering the last
+// serial admission touching it would have used.
+func (n *Network) StartFlows(flows []*Flow, onDone func()) {
+	if len(flows) == 0 {
+		return
+	}
+	if !BatchAdmission {
+		for _, f := range flows {
+			n.StartFlow(f, onDone)
+		}
+		return
+	}
+	admitted := false
+	firstReal := -1
+	for i, f := range flows {
+		if f.Bytes < 0 {
+			panic(fmt.Sprintf("fabric: flow %s with negative bytes", f.Name))
+		}
+		f.remaining = f.Bytes
+		f.onDone = onDone
+		f.done = false
+		if f.Bytes == 0 || len(f.Path) == 0 {
+			f := f
+			n.eng.Schedule(0, func() {
+				f.done = true
+				if onDone != nil {
+					onDone()
+				}
+			})
+			f.idx = -1
+			continue
+		}
+		if !admitted {
+			n.advance()
+		}
+		f.idx = len(n.active)
+		f.mark = 0
+		n.active = append(n.active, f)
+		f.pos = f.pos[:0]
+		for _, l := range f.Path {
+			f.pos = append(f.pos, int32(len(l.active)))
+			l.active = append(l.active, f)
+		}
+		if !admitted {
+			admitted = true
+			firstReal = i
+			// Retire already-finished flows here rather than in reshareBatch:
+			// the serial path retires them during the first real flow's
+			// reshare, before any later zero-byte flow in the batch schedules
+			// its completion tick, and the relative order of those 0-delay
+			// events is observable.
+			n.retireFinished()
+		}
+	}
+	if !admitted {
+		return
+	}
+	n.reshareBatch(flows, firstReal)
+}
+
 // Transfer is a convenience wrapper for processes: it starts the flow and
 // blocks p until completion.
 func (n *Network) Transfer(p *sim.Proc, f *Flow) {
@@ -134,6 +233,7 @@ func (n *Network) SetCapacity(l *Link, capacity float64) {
 	}
 	n.advance()
 	l.capacity = capacity
+	n.capEpoch++
 	n.reshare(nil, l)
 }
 
@@ -170,8 +270,84 @@ func (n *Network) advance() {
 // seeded by a starting flow, a capacity-changed link, and the links of every
 // retired flow — and re-arms the next completion event.
 func (n *Network) reshare(seedFlow *Flow, seedLink *Link) {
-	// Collect finished flows first, then retire: retiring in-place while
-	// scanning would permute the dense registry under the scan.
+	n.retireFinished()
+
+	// Gather the touched component. The compLinks slice doubles as the BFS
+	// queue: links are appended once when first marked and scanned in order.
+	n.markGen++
+	gen := n.markGen
+	n.compFlows = n.compFlows[:0]
+	n.compLinks = n.compLinks[:0]
+	if seedLink != nil {
+		n.seedLink(seedLink, gen)
+	}
+	for _, f := range n.finished {
+		n.seedLinks(f.Path, gen)
+	}
+	if seedFlow != nil && seedFlow.idx >= 0 {
+		n.visitFlow(seedFlow, gen)
+	}
+	n.bfs(0, gen)
+
+	n.computeRates(0, 0)
+	n.scheduleNextCompletion()
+}
+
+// reshareBatch recomputes rates after a StartFlows admission: one
+// progressive-filling pass per connected component the batch touches, plus
+// one for any components that only lost retired flows. Admitting the same
+// flows serially leaves each component with the rates computed by the last
+// StartFlow call touching it, so the batch walks flows in reverse admission
+// order — the first unmarked flow seen is that component's last-admitted
+// flow, and seeding the gather with it reproduces the surviving serial
+// pass's flow ordering (and therefore its floating-point operation order)
+// exactly. firstReal is the index in flows of the first admitted flow; the
+// serial path folds capacity freed by retired flows into that flow's
+// reshare, finished links seeded first, so the batch does too.
+func (n *Network) reshareBatch(flows []*Flow, firstReal int) {
+	n.markGen++
+	gen := n.markGen
+	n.compFlows = n.compFlows[:0]
+	n.compLinks = n.compLinks[:0]
+
+	for i := len(flows) - 1; i >= 0; i-- {
+		f := flows[i]
+		if f.idx < 0 || f.mark == gen {
+			continue // zero-byte, or component already recomputed
+		}
+		flowStart, linkStart := len(n.compFlows), len(n.compLinks)
+		if i == firstReal {
+			for _, ff := range n.finished {
+				n.seedLinks(ff.Path, gen)
+			}
+		}
+		n.visitFlow(f, gen)
+		n.bfs(linkStart, gen)
+		n.computeRates(flowStart, linkStart)
+	}
+
+	// Components touched only by retired flows — no batch flow reaches them —
+	// still need the freed capacity redistributed. The serial path does this
+	// inside the first real flow's reshare; those components are disjoint
+	// from every batch component (or they would have been marked above), so
+	// computing them last yields identical rates.
+	flowStart, linkStart := len(n.compFlows), len(n.compLinks)
+	for _, ff := range n.finished {
+		n.seedLinks(ff.Path, gen)
+	}
+	if len(n.compLinks) > linkStart {
+		n.bfs(linkStart, gen)
+		n.computeRates(flowStart, linkStart)
+	}
+
+	n.scheduleNextCompletion()
+}
+
+// retireFinished collects every active flow whose remaining bytes are
+// (within tolerance) zero into n.finished, then retires them. Collect first,
+// then retire: retiring in-place while scanning would permute the dense
+// registry under the scan.
+func (n *Network) retireFinished() {
 	n.finished = n.finished[:0]
 	for _, f := range n.active {
 		if f.remaining <= 1e-6 {
@@ -181,53 +357,51 @@ func (n *Network) reshare(seedFlow *Flow, seedLink *Link) {
 	for _, f := range n.finished {
 		n.retire(f)
 	}
+}
 
-	// Gather the touched component. The compLinks slice doubles as the BFS
-	// queue: links are appended once when first marked and scanned in order.
-	n.markGen++
-	gen := n.markGen
-	n.compFlows = n.compFlows[:0]
-	n.compLinks = n.compLinks[:0]
-	seedLinks := func(path []*Link) {
-		for _, l := range path {
-			if l.mark != gen {
-				l.mark = gen
-				l.scap = l.capacity
-				l.sunfrozen = 0
-				n.compLinks = append(n.compLinks, l)
-			}
-		}
+// seedLink adds l to the current component work-list if not yet marked,
+// resetting its progressive-filling scratch.
+func (n *Network) seedLink(l *Link, gen int64) {
+	if l.mark != gen {
+		l.mark = gen
+		l.scap = l.capacity
+		l.sunfrozen = 0
+		n.compLinks = append(n.compLinks, l)
 	}
-	visitFlow := func(f *Flow) {
-		if f.mark == gen {
-			return
-		}
-		f.mark = gen
-		f.frozen = false
-		f.rate = 0
-		n.compFlows = append(n.compFlows, f)
-		seedLinks(f.Path)
-		for _, l := range f.Path {
-			l.sunfrozen++
-		}
+}
+
+// seedLinks seeds every link on a path.
+func (n *Network) seedLinks(path []*Link, gen int64) {
+	for _, l := range path {
+		n.seedLink(l, gen)
 	}
-	if seedLink != nil {
-		seedLinks([]*Link{seedLink})
+}
+
+// visitFlow adds f to the current component work-list if not yet marked,
+// seeding its links and counting it against their unfrozen totals.
+func (n *Network) visitFlow(f *Flow, gen int64) {
+	if f.mark == gen {
+		return
 	}
-	for _, f := range n.finished {
-		seedLinks(f.Path)
+	f.mark = gen
+	f.frozen = false
+	f.rate = 0
+	n.compFlows = append(n.compFlows, f)
+	n.seedLinks(f.Path, gen)
+	for _, l := range f.Path {
+		l.sunfrozen++
 	}
-	if seedFlow != nil && seedFlow.idx >= 0 {
-		visitFlow(seedFlow)
-	}
-	for scan := 0; scan < len(n.compLinks); scan++ {
+}
+
+// bfs expands the component work-lists to their transitive closure, scanning
+// compLinks from index scan onward (links appended during the scan extend
+// the frontier).
+func (n *Network) bfs(scan int, gen int64) {
+	for ; scan < len(n.compLinks); scan++ {
 		for _, f := range n.compLinks[scan].active {
-			visitFlow(f)
+			n.visitFlow(f, gen)
 		}
 	}
-
-	n.computeRates()
-	n.scheduleNextCompletion()
 }
 
 // retire removes f from the dense registry and every link it crosses, and
@@ -255,17 +429,21 @@ func (n *Network) retire(f *Flow) {
 	}
 }
 
-// computeRates implements progressive filling over the gathered component:
-// repeatedly find the most constrained resource, freeze its flows at the fair
-// share, and continue with reduced capacities. Per-flow rate limits are
-// treated as single-flow links. Flows outside the component keep their rates:
+// computeRates implements progressive filling over one gathered component —
+// the sub-slices of the work-lists from flowStart/linkStart on: repeatedly
+// find the most constrained resource, freeze its flows at the fair share, and
+// continue with reduced capacities. Per-flow rate limits are treated as
+// single-flow links. Flows outside the component keep their rates:
 // components share no links, so their allocations are unaffected.
-func (n *Network) computeRates() {
-	unfrozen := len(n.compFlows)
+func (n *Network) computeRates(flowStart, linkStart int) {
+	n.fillPasses++
+	compFlows := n.compFlows[flowStart:]
+	compLinks := n.compLinks[linkStart:]
+	unfrozen := len(compFlows)
 	for unfrozen > 0 {
 		// Find the bottleneck: smallest fair share over links and flow caps.
 		share := math.MaxFloat64
-		for _, l := range n.compLinks {
+		for _, l := range compLinks {
 			if l.sunfrozen == 0 {
 				continue
 			}
@@ -273,7 +451,7 @@ func (n *Network) computeRates() {
 				share = s
 			}
 		}
-		for _, f := range n.compFlows {
+		for _, f := range compFlows {
 			if !f.frozen && f.RateLimit > 0 && f.RateLimit < share {
 				share = f.RateLimit
 			}
@@ -283,7 +461,7 @@ func (n *Network) computeRates() {
 		}
 		// Freeze every flow constrained at this share.
 		progressed := false
-		for _, f := range n.compFlows {
+		for _, f := range compFlows {
 			if f.frozen {
 				continue
 			}

@@ -260,12 +260,14 @@ func DefaultConfig() Config {
 		// computed values need an epsilon (or an allow comment arguing why
 		// bit-equality is intended).
 		"float-eq": {},
-		// The fabric recycles solver scratch and completion events; handing
-		// a pooled pointer across the exported API would let callers observe
-		// reuse.
+		// The fabric recycles solver scratch and completion events, and the
+		// collective layer recycles compiled plans and handles; handing a
+		// pooled pointer across the exported API would let callers observe
+		// reuse. The deliberate hand-offs (pooled Handles with a documented
+		// Release contract) carry allow comments.
 		"scratch-escape": {
-			Include: []string{"llmbw/internal/fabric"},
-			Options: map[string]string{"types": "completionEvent"},
+			Include: []string{"llmbw/internal/fabric", "llmbw/internal/collective"},
+			Options: map[string]string{"types": "completionEvent,Plan,Handle"},
 		},
 		// Only internal/runner is allowed to coordinate real goroutines;
 		// everywhere else a write to captured state from a go closure is a

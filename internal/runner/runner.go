@@ -16,6 +16,18 @@ import (
 	"sync/atomic"
 )
 
+// ClampParallel sanitizes a -parallel flag value: zero and negative values
+// request no concurrency, so they clamp to 1 (serial). Command-line tools
+// pass flag input through this instead of handing it to Map/Run directly,
+// whose parallel <= 0 means "use GOMAXPROCS" — the wrong reading of an
+// explicit `-parallel 0`.
+func ClampParallel(p int) int {
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
 // Job is one independently executable unit of work producing output.
 type Job struct {
 	ID  string

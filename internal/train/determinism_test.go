@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"llmbw/internal/collective"
 	"llmbw/internal/fabric"
 	"llmbw/internal/model"
 )
@@ -58,6 +59,52 @@ func TestSummaryJSONByteStable(t *testing.T) {
 			t.Errorf("class %s serialized out of sorted order", name)
 		}
 		last = at
+	}
+}
+
+// TestFastPathsMatchLegacyPaths is the end-to-end determinism A/B for the
+// performance machinery: compiled collective plans and batched flow admission
+// must leave the serialized training summary byte-identical to the
+// rebuild-per-issue / per-flow-admission paths they replaced, in every toggle
+// combination. Strategies are chosen to cover the comm-queue pipelines
+// (ZeRO-3), fused dual-ring collectives (DDP) and the hybrid-parallel
+// boundary exchange (Megatron).
+func TestFastPathsMatchLegacyPaths(t *testing.T) {
+	run := func(cfg Config, plans, batch bool) []byte {
+		defer func(p, b bool) {
+			collective.CompiledPlans, fabric.BatchAdmission = p, b
+		}(collective.CompiledPlans, fabric.BatchAdmission)
+		collective.CompiledPlans, fabric.BatchAdmission = plans, batch
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cfgs := []Config{
+		{Strategy: DDP, Model: model.NewGPT(8), Iterations: 2, Warmup: 1},
+		{Strategy: Megatron, Model: model.NewGPT(8), Iterations: 1, Warmup: 0, Nodes: 2},
+		{Strategy: ZeRO3, Model: model.NewGPT(8), Iterations: 2, Warmup: 1, Nodes: 2},
+	}
+	for _, cfg := range cfgs {
+		fast := run(cfg, true, true)
+		for _, m := range []struct {
+			name         string
+			plans, batch bool
+		}{
+			{"legacy(plans=off,batch=off)", false, false},
+			{"plans-only", true, false},
+			{"batch-only", false, true},
+		} {
+			if got := run(cfg, m.plans, m.batch); !bytes.Equal(fast, got) {
+				t.Errorf("%s: %s summary differs from the fast path:\n%s\n----\n%s",
+					cfg.Name(), m.name, fast, got)
+			}
+		}
 	}
 }
 

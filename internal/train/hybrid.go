@@ -89,15 +89,18 @@ func (r *Runner) sendBoundaries(p *sim.Proc, routes []topology.Route, bytes floa
 	}
 	start := p.Now()
 	p.Await(func(resume func()) {
-		remaining := len(routes)
+		flows := r.flowScratch[:0]
 		for i, rt := range routes {
-			r.cluster.Net.StartFlow(rt.Flow(fmt.Sprintf("pp-act/%d", i), bytes), func() {
-				remaining--
-				if remaining == 0 {
-					resume()
-				}
-			})
+			flows = append(flows, rt.Flow(fmt.Sprintf("pp-act/%d", i), bytes))
 		}
+		r.flowScratch = flows
+		remaining := len(flows)
+		r.cluster.Net.StartFlows(flows, func() {
+			remaining--
+			if remaining == 0 {
+				resume()
+			}
+		})
 	})
 	r.traceAll(trace.OffloadCopy, start, p.Now())
 }

@@ -97,6 +97,10 @@ type Runner struct {
 	psi        float64 // total parameters
 	gradBytes  float64 // 2Ψ FP16 gradients
 	paramBytes float64 // 2Ψ FP16 parameters
+
+	// flowScratch collects per-rank flows for batched admission; StartFlows
+	// does not retain the slice, so one buffer serves every call site.
+	flowScratch []*fabric.Flow
 }
 
 // Run executes the configuration and returns measurements.
@@ -184,34 +188,37 @@ func Run(cfg Config) (*Result, error) {
 	// on DRAM, PCIe and xGMI, emitted in one-second paced slices until the
 	// training process finishes.
 	eng.Go("housekeeping", func(p *sim.Proc) {
+		var batch []*fabric.Flow
 		for !trainingDone {
 			slice := sim.Second
 			sec := slice.ToSeconds()
+			batch = batch[:0]
 			for n := 0; n < cfg.Nodes; n++ {
 				for s := 0; s < topology.SocketsPerNode; s++ {
-					cluster.Net.StartFlow(&fabric.Flow{
+					batch = append(batch, &fabric.Flow{
 						Name:      "bg/dram",
 						Path:      []*fabric.Link{cluster.DRAMLink(n, s)},
 						Bytes:     bgDRAMPerSocket * sec,
 						RateLimit: bgDRAMPerSocket,
-					}, nil)
+					})
 				}
 				for gi := 0; gi < topology.GPUsPerNode; gi++ {
 					g := topology.GPU{Node: n, Index: gi}
-					cluster.Net.StartFlow(&fabric.Flow{
+					batch = append(batch, &fabric.Flow{
 						Name:      "bg/pcie",
 						Path:      []*fabric.Link{cluster.PCIeGPULink(g), cluster.DRAMLink(n, g.Socket())},
 						Bytes:     bgPCIePerGPU * sec,
 						RateLimit: bgPCIePerGPU,
-					}, nil)
+					})
 				}
-				cluster.Net.StartFlow(&fabric.Flow{
+				batch = append(batch, &fabric.Flow{
 					Name:      "bg/xgmi",
 					Path:      []*fabric.Link{cluster.XGMILink(n)},
 					Bytes:     bgXGMIPerNode * sec,
 					RateLimit: bgXGMIPerNode,
-				}, nil)
+				})
 			}
+			cluster.Net.StartFlows(batch, nil)
 			p.Sleep(slice)
 		}
 	})
@@ -299,49 +306,85 @@ func traceKind(op collective.Op) trace.Kind {
 }
 
 // commQueue serializes asynchronous collectives on a virtual NCCL stream so
-// they overlap compute but not each other.
+// they overlap compute but not each other. Handles are drawn from the world
+// group's pool: a fire-and-forget handle recycles itself once a later
+// operation supersedes it and its waiters have run; retained handles
+// (enqueueHandle) are the caller's to release.
 type commQueue struct {
-	r     *Runner
-	limit float64
-	rings int
-	tail  *collective.Handle
+	r        *Runner
+	limit    float64
+	rings    int
+	tail     *collective.Handle
+	tailAuto bool // tail came from enqueue/enqueueFn, not enqueueHandle
 }
 
 func (r *Runner) newQueue(limit float64, rings int) *commQueue {
 	return &commQueue{r: r, limit: limit, rings: rings}
 }
 
-// enqueue chains a collective after the previous one and returns its handle.
-func (q *commQueue) enqueue(op collective.Op, payload float64) *collective.Handle {
-	h := collective.NewPendingHandle(q.r.cluster.Eng)
+// enqueue chains a fire-and-forget collective after the previous operation;
+// its pooled handle recycles automatically.
+func (q *commQueue) enqueue(op collective.Op, payload float64) {
+	q.push(op, payload, false)
+}
+
+// enqueueHandle chains a collective and returns its handle for the caller to
+// wait on. Callers return the handle to the pool with q.release once done
+// with it.
+func (q *commQueue) enqueueHandle(op collective.Op, payload float64) *collective.Handle {
+	return q.push(op, payload, true)
+}
+
+func (q *commQueue) push(op collective.Op, payload float64, retained bool) *collective.Handle {
+	h := q.r.world.NewHandle()
+	prev, prevAuto := q.tail, q.tailAuto
 	start := func() {
 		t0 := q.r.cluster.Eng.Now()
 		q.r.world.StartRings(op, payload, q.limit, q.rings, func() {
 			q.r.traceAll(traceKind(op), t0, q.r.cluster.Eng.Now())
 			h.Fire()
 		})
+		// prev has now served its last purpose (ordering this start); a
+		// fire-and-forget predecessor goes back to the pool.
+		if prevAuto {
+			prev.Release()
+		}
 	}
-	if q.tail == nil {
+	if prev == nil {
 		start()
 	} else {
-		q.tail.Then(start)
+		prev.Then(start)
 	}
-	q.tail = h
+	q.tail, q.tailAuto = h, !retained
 	return h
 }
 
 // enqueueFn chains an arbitrary deferred operation (e.g. an offload copy)
 // onto the stream. fn must eventually call its done callback.
 func (q *commQueue) enqueueFn(fn func(done func())) *collective.Handle {
-	h := collective.NewPendingHandle(q.r.cluster.Eng)
-	start := func() { fn(h.Fire) }
-	if q.tail == nil {
+	h := q.r.world.NewHandle()
+	prev, prevAuto := q.tail, q.tailAuto
+	start := func() {
+		fn(h.Fire)
+		if prevAuto {
+			prev.Release()
+		}
+	}
+	if prev == nil {
 		start()
 	} else {
-		q.tail.Then(start)
+		prev.Then(start)
 	}
-	q.tail = h
+	q.tail, q.tailAuto = h, true
 	return h
+}
+
+// release returns a retained handle to the pool. The current tail stays
+// live — later operations still chain on it — and recycles when superseded.
+func (q *commQueue) release(h *collective.Handle) {
+	if h != q.tail {
+		h.Release()
+	}
 }
 
 // drain blocks until every queued operation has completed.
@@ -363,28 +406,27 @@ func (r *Runner) eachGPU(fn func(rank int, g topology.GPU)) {
 	}
 }
 
-// startRankFlows launches flows for every rank and invokes done when all
-// complete.
+// startRankFlows launches flows for every rank in one admission batch and
+// invokes done when all complete.
 func (r *Runner) startRankFlows(kind trace.Kind, mk func(rank int, g topology.GPU) []*fabric.Flow, done func()) {
-	var flows []*fabric.Flow
+	flows := r.flowScratch[:0]
 	r.eachGPU(func(rank int, g topology.GPU) {
 		flows = append(flows, mk(rank, g)...)
 	})
+	r.flowScratch = flows
 	if len(flows) == 0 {
 		r.cluster.Eng.Schedule(0, done)
 		return
 	}
 	t0 := r.cluster.Eng.Now()
 	remaining := len(flows)
-	for _, f := range flows {
-		r.cluster.Net.StartFlow(f, func() {
-			remaining--
-			if remaining == 0 {
-				r.traceAll(kind, t0, r.cluster.Eng.Now())
-				done()
-			}
-		})
-	}
+	r.cluster.Net.StartFlows(flows, func() {
+		remaining--
+		if remaining == 0 {
+			r.traceAll(kind, t0, r.cluster.Eng.Now())
+			done()
+		}
+	})
 }
 
 // offloadCopy moves bytesPerRank between every GPU and host memory. Half the
@@ -420,26 +462,28 @@ func (r *Runner) hostAdam(p *sim.Proc, paramsPerRank int64) {
 	}
 	sec := d.ToSeconds()
 	perSocket := 2 * compute.AdamDRAMTraffic(paramsPerRank) // two ranks per socket
+	flows := r.flowScratch[:0]
 	for s := 0; s < topology.SocketsPerNode; s++ {
 		localBytes := perSocket * (1 - adamCrossFrac)
 		crossBytes := perSocket * adamCrossFrac
-		local := &fabric.Flow{
-			Name:      fmt.Sprintf("cpuadam/s%d/local", s),
-			Path:      []*fabric.Link{r.cluster.DRAMLink(0, s)},
-			Bytes:     localBytes,
-			RateLimit: localBytes / sec,
-		}
-		cross := &fabric.Flow{
-			Name: fmt.Sprintf("cpuadam/s%d/cross", s),
-			Path: []*fabric.Link{
-				r.cluster.XGMILink(0), r.cluster.DRAMLink(0, 1-s),
+		flows = append(flows,
+			&fabric.Flow{
+				Name:      fmt.Sprintf("cpuadam/s%d/local", s),
+				Path:      []*fabric.Link{r.cluster.DRAMLink(0, s)},
+				Bytes:     localBytes,
+				RateLimit: localBytes / sec,
 			},
-			Bytes:     crossBytes,
-			RateLimit: crossBytes / sec,
-		}
-		r.cluster.Net.StartFlow(local, nil)
-		r.cluster.Net.StartFlow(cross, nil)
+			&fabric.Flow{
+				Name: fmt.Sprintf("cpuadam/s%d/cross", s),
+				Path: []*fabric.Link{
+					r.cluster.XGMILink(0), r.cluster.DRAMLink(0, 1-s),
+				},
+				Bytes:     crossBytes,
+				RateLimit: crossBytes / sec,
+			})
 	}
+	r.flowScratch = flows
+	r.cluster.Net.StartFlows(flows, nil)
 	r.idleSpan(p, trace.CPUAdam, d)
 }
 
@@ -502,10 +546,13 @@ func (r *Runner) writeCheckpoint(p *sim.Proc) {
 // dataloaders overlap H2D copies with compute.
 func (r *Runner) stageBatch() {
 	bytes := data.BatchStagingBytes(r.cfg.BatchPerGPU, r.cfg.Model.SeqLen)
+	flows := r.flowScratch[:0]
 	r.eachGPU(func(rank int, g topology.GPU) {
 		route := r.cluster.GPUToCPU(g, g.Socket())
-		r.cluster.Net.StartFlow(route.Flow(fmt.Sprintf("dataloader/r%d", rank), bytes), nil)
+		flows = append(flows, route.Flow(fmt.Sprintf("dataloader/r%d", rank), bytes))
 	})
+	r.flowScratch = flows
+	r.cluster.Net.StartFlows(flows, nil)
 }
 
 // initializeParameters models job start-up: rank 0 materializes the weights

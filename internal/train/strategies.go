@@ -228,12 +228,14 @@ func (r *Runner) iterZeRO3(p *sim.Proc) {
 
 	q := r.newQueue(0, 1)
 	handles := make([]*collective.Handle, len(gr))
-	handles[0] = q.enqueue(collective.AllGather, groupBytes(0))
+	handles[0] = q.enqueueHandle(collective.AllGather, groupBytes(0))
 	for i := range gr {
 		if i+1 < len(gr) {
-			handles[i+1] = q.enqueue(collective.AllGather, groupBytes(i+1))
+			handles[i+1] = q.enqueueHandle(collective.AllGather, groupBytes(i+1))
 		}
 		handles[i].Wait(p)
+		q.release(handles[i])
+		handles[i] = nil
 		p.Sleep(r.zero3Overhead() * sim.Time(gr[i]))
 		r.computeSpan(p, trace.Gemm, g.LayerForwardFLOPs(b)*float64(gr[i]))
 		r.mem.alloc(float64(gr[i]) * r.layerActivationBytes())
@@ -250,12 +252,14 @@ func (r *Runner) iterZeRO3(p *sim.Proc) {
 	bq := r.newQueue(0, 1)
 	bh := make([]*collective.Handle, len(gr))
 	last := len(gr) - 1
-	bh[last] = bq.enqueue(collective.AllGather, groupBytes(last))
+	bh[last] = bq.enqueueHandle(collective.AllGather, groupBytes(last))
 	for i := last; i >= 0; i-- {
 		if i-1 >= 0 {
-			bh[i-1] = bq.enqueue(collective.AllGather, groupBytes(i-1))
+			bh[i-1] = bq.enqueueHandle(collective.AllGather, groupBytes(i-1))
 		}
 		bh[i].Wait(p)
+		bq.release(bh[i])
+		bh[i] = nil
 		p.Sleep(r.zero3Overhead() * sim.Time(gr[i]))
 		r.computeSpan(p, trace.Gemm, r.backwardFactor()*g.LayerForwardFLOPs(b)*float64(gr[i]))
 		r.mem.free(float64(gr[i]) * r.layerActivationBytes())
