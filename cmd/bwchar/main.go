@@ -1,13 +1,14 @@
 // Command bwchar regenerates the paper's tables and figures on the simulated
-// cluster. Run it with experiment ids (fig1..fig14, table1..table6), or
-// "all" for the complete evaluation.
+// cluster. Run it with experiment ids (fig1..fig14, table1..table6), "all"
+// for the complete paper evaluation, or "all-ext" to additionally run the
+// extension and ablation studies.
 //
 // Usage:
 //
 //	bwchar -list
 //	bwchar fig7 table4
 //	bwchar -iterations 5 -pattern-seconds 60 all
-//	bwchar -parallel 4 all
+//	bwchar -parallel 4 all-ext
 package main
 
 import (
@@ -20,6 +21,31 @@ import (
 	"llmbw/internal/core"
 	"llmbw/internal/runner"
 )
+
+const usageLine = "usage: bwchar [-list] [flags] <experiment-id>... | all | all-ext"
+
+// resolveExperiments maps command-line ids to experiments: "all" selects the
+// paper reproductions, "all-ext" additionally the extensions and ablations,
+// and otherwise each id resolves via core.Get, so an unknown id fails before
+// any simulation starts.
+func resolveExperiments(args []string) ([]core.Experiment, error) {
+	if len(args) == 1 && (args[0] == "all" || args[0] == "all-ext") {
+		exps := core.Experiments()
+		if args[0] == "all-ext" {
+			exps = append(exps, core.Extensions()...)
+		}
+		return exps, nil
+	}
+	exps := make([]core.Experiment, 0, len(args))
+	for _, id := range args {
+		e, err := core.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		exps = append(exps, e)
+	}
+	return exps, nil
+}
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
@@ -45,7 +71,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: bwchar [-list] [flags] <experiment-id>... | all")
+		fmt.Fprintln(os.Stderr, usageLine)
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -65,21 +91,10 @@ func main() {
 
 	// Resolve the experiment list up front so an unknown id fails before any
 	// simulation starts.
-	var exps []core.Experiment
-	if len(args) == 1 && (args[0] == "all" || args[0] == "all-ext") {
-		exps = core.Experiments()
-		if args[0] == "all-ext" {
-			exps = append(exps, core.Extensions()...)
-		}
-	} else {
-		for _, id := range args {
-			e, err := core.Get(id)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "bwchar:", err)
-				os.Exit(2)
-			}
-			exps = append(exps, e)
-		}
+	exps, err := resolveExperiments(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bwchar:", err)
+		os.Exit(2)
 	}
 
 	// Each experiment owns a private simulation engine, so they run on a

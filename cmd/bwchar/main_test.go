@@ -6,8 +6,51 @@ import (
 	"io"
 	"testing"
 
+	"llmbw/internal/core"
 	"llmbw/internal/runner"
 )
+
+// TestResolveExperiments pins the command-line contract: "all" is exactly the
+// paper reproductions, "all-ext" appends the extension studies, explicit ids
+// resolve individually in argument order, and an unknown id errors before any
+// experiment would run.
+func TestResolveExperiments(t *testing.T) {
+	paper, ext := core.Experiments(), core.Extensions()
+
+	all, err := resolveExperiments([]string{"all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(paper) {
+		t.Errorf("resolveExperiments(all) returned %d experiments, want %d", len(all), len(paper))
+	}
+
+	allExt, err := resolveExperiments([]string{"all-ext"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(paper) + len(ext); len(allExt) != want {
+		t.Errorf("resolveExperiments(all-ext) returned %d experiments, want %d", len(allExt), want)
+	}
+	for i, e := range ext {
+		if got := allExt[len(paper)+i].ID; got != e.ID {
+			t.Errorf("all-ext experiment %d = %s, want extension %s", len(paper)+i, got, e.ID)
+		}
+	}
+
+	ids := []string{paper[1].ID, paper[0].ID}
+	picked, err := resolveExperiments(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 || picked[0].ID != ids[0] || picked[1].ID != ids[1] {
+		t.Errorf("resolveExperiments(%v) = %v, want the ids in argument order", ids, picked)
+	}
+
+	if _, err := resolveExperiments([]string{"no-such-experiment"}); err == nil {
+		t.Error("resolveExperiments(no-such-experiment) did not fail")
+	}
+}
 
 // TestParallelFlagClamped: `-parallel 0` and negative values used to reach
 // runner.Run raw, where parallel <= 0 selects GOMAXPROCS workers — the

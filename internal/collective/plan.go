@@ -90,6 +90,26 @@ func (g *Group) releasePlan(p *Plan) {
 	g.plans[p.key] = append(g.plans[p.key], p)
 }
 
+// Precompile ensures a plan for the shape sits on the free list, so the
+// first issue replays instead of compiling mid-simulation. Schedule
+// executors call it at construction for every collective their program can
+// issue. No-op when plans are disabled, when the shape degenerates to a
+// zero-cost operation, or when the shape already has a parked plan.
+// Precompilation generates no engine events and is therefore invisible to
+// the simulation outcome.
+func (g *Group) Precompile(op Op, payload, hopRateLimit float64, rings int) {
+	if !CompiledPlans || len(g.ranks) == 1 || payload <= 0 {
+		return
+	}
+	key := planKey{op: op, payload: payload, limit: hopRateLimit, rings: int8(rings)}
+	if len(g.plans[key]) > 0 {
+		return
+	}
+	p := g.compilePlan(key)
+	g.compiled++
+	g.releasePlan(p)
+}
+
 // compilePlan builds the flows and closures for one collective shape.
 func (g *Group) compilePlan(key planKey) *Plan {
 	p := &Plan{g: g, key: key, capEpoch: g.cluster.Net.CapacityEpoch()}

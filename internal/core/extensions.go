@@ -101,6 +101,9 @@ func Extensions() []Experiment {
 			return whatif.PlatformReport(w)
 		}},
 		{"ext-breakdown", "Extension: iteration time breakdown per strategy", breakdownReport},
+		{"ext-overlap", "Ablation: comm/compute overlap via schedule rewrite", func(w io.Writer, opt Options) error {
+			return whatif.OverlapReport(w)
+		}},
 		{"ext-scaling", "Extension: weak scaling to 8 nodes", func(w io.Writer, opt Options) error {
 			return whatif.ScalingReport(w)
 		}},

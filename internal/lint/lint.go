@@ -260,14 +260,21 @@ func DefaultConfig() Config {
 		// computed values need an epsilon (or an allow comment arguing why
 		// bit-equality is intended).
 		"float-eq": {},
-		// The fabric recycles solver scratch and completion events, and the
-		// collective layer recycles compiled plans and handles; handing a
-		// pooled pointer across the exported API would let callers observe
-		// reuse. The deliberate hand-offs (pooled Handles with a documented
-		// Release contract) carry allow comments.
+		// The fabric recycles solver scratch and completion events, the
+		// collective layer recycles compiled plans and handles, and the
+		// train executor recycles compiled-schedule op records and flow
+		// sets; handing a pooled pointer across the exported API would let
+		// callers observe reuse. Each type name binds in its own package's
+		// scope only. The deliberate hand-offs (pooled Handles with a
+		// documented Release contract) carry allow comments.
 		"scratch-escape": {
-			Include: []string{"llmbw/internal/fabric", "llmbw/internal/collective"},
-			Options: map[string]string{"types": "completionEvent,Plan,Handle"},
+			Include: []string{
+				"llmbw/internal/fabric", "llmbw/internal/collective",
+				"llmbw/internal/train",
+			},
+			Options: map[string]string{
+				"types": "completionEvent,Plan,Handle,schedule,schedOp,flowSet,asyncIssue",
+			},
 		},
 		// Only internal/runner is allowed to coordinate real goroutines;
 		// everywhere else a write to captured state from a go closure is a

@@ -46,14 +46,32 @@ func (r scratchEscape) Check(c *Checker, pkg *Package) {
 				c.Reportf(o.Pos(), "exported variable %s holds pooled type: pooled objects must stay inside the package", name)
 			}
 		case *types.TypeName:
-			st, ok := o.Type().Underlying().(*types.Struct)
-			if !ok {
-				continue
-			}
-			for i := 0; i < st.NumFields(); i++ {
-				f := st.Field(i)
-				if f.Exported() && mentionsPooled(f.Type(), pooled) {
-					c.Reportf(f.Pos(), "exported field %s.%s exposes pooled type", name, f.Name())
+			switch u := o.Type().Underlying().(type) {
+			case *types.Struct:
+				for i := 0; i < u.NumFields(); i++ {
+					f := u.Field(i)
+					if f.Exported() && mentionsPooled(f.Type(), pooled) {
+						c.Reportf(f.Pos(), "exported field %s.%s exposes pooled type", name, f.Name())
+					}
+				}
+			case *types.Interface:
+				// An exported interface whose method signatures mention a
+				// pooled type forces every implementation to leak pooled
+				// objects across the API.
+				for i := 0; i < u.NumExplicitMethods(); i++ {
+					m := u.ExplicitMethod(i)
+					sig := m.Type().(*types.Signature)
+					leaks := false
+					for _, tup := range []*types.Tuple{sig.Params(), sig.Results()} {
+						for j := 0; j < tup.Len(); j++ {
+							if mentionsPooled(tup.At(j).Type(), pooled) {
+								leaks = true
+							}
+						}
+					}
+					if leaks {
+						c.Reportf(m.Pos(), "exported interface method %s.%s mentions pooled type: implementations would leak pooled objects", name, m.Name())
+					}
 				}
 			}
 		case *types.Func:

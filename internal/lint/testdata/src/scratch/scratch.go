@@ -37,6 +37,18 @@ type Holder struct {
 	private *pooledScratch // unexported field: fine
 }
 
+// Source forces every implementation to hand pooled objects to callers.
+type Source interface {
+	Next() *pooledScratch // want scratch-escape
+	Len() int             // clean method: fine
+}
+
+// Sink leaks through a parameter: an implementation must accept (and may
+// retain) a pooled pointer handed in from outside the package.
+type Sink interface {
+	Put(s *pooledScratch) // want scratch-escape
+}
+
 // Solver keeps its pool encapsulated behind unexported fields.
 type Solver struct {
 	scratch []*pooledScratch

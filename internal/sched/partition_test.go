@@ -1,0 +1,116 @@
+package sched
+
+import "testing"
+
+func sum(parts []int) int {
+	s := 0
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}
+
+func spread(parts []int) int {
+	if len(parts) == 0 {
+		return 0
+	}
+	min, max := parts[0], parts[0]
+	for _, p := range parts {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	return max - min
+}
+
+func TestRoundRobinEvenness(t *testing.T) {
+	for items := 0; items <= 64; items++ {
+		for parts := 1; parts <= 17; parts++ {
+			got := RoundRobin(items, parts)
+			if len(got) != parts {
+				t.Fatalf("RoundRobin(%d,%d) has %d parts", items, parts, len(got))
+			}
+			if sum(got) != items {
+				t.Fatalf("RoundRobin(%d,%d) sums to %d", items, parts, sum(got))
+			}
+			if spread(got) > 1 {
+				t.Fatalf("RoundRobin(%d,%d) uneven: %v", items, parts, got)
+			}
+		}
+	}
+}
+
+func TestRoundRobinDegenerate(t *testing.T) {
+	if got := RoundRobin(0, 0); len(got) != 0 {
+		t.Errorf("RoundRobin(0,0) = %v, want empty", got)
+	}
+	if got := RoundRobin(0, -3); len(got) != 0 {
+		t.Errorf("RoundRobin(0,-3) = %v, want empty", got)
+	}
+}
+
+func TestBucketsBoundaries(t *testing.T) {
+	cases := []struct {
+		layers, perBucket, maxBuckets int
+		want                          []int
+	}{
+		// Zero layers: one empty bucket (a single empty flush).
+		{0, 8, 16, []int{0}},
+		// One layer, buckets bigger than the model: one bucket.
+		{1, 8, 16, []int{1}},
+		// Fewer layers than the bucket size: still one bucket.
+		{7, 8, 16, []int{7}},
+		// Exactly one bucket's worth.
+		{8, 8, 16, []int{8}},
+		// One layer over: two buckets, dealt round-robin.
+		{9, 8, 16, []int{5, 4}},
+		// Cap binds: 200 layers want 25 buckets, clamped to 16.
+		{200, 8, 16, RoundRobin(200, 16)},
+	}
+	for _, c := range cases {
+		got := Buckets(c.layers, c.perBucket, c.maxBuckets)
+		if len(got) != len(c.want) {
+			t.Errorf("Buckets(%d,%d,%d) = %v, want %v", c.layers, c.perBucket, c.maxBuckets, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Buckets(%d,%d,%d) = %v, want %v", c.layers, c.perBucket, c.maxBuckets, got, c.want)
+				break
+			}
+		}
+		if sum(got) != c.layers {
+			t.Errorf("Buckets(%d,%d,%d) sums to %d", c.layers, c.perBucket, c.maxBuckets, sum(got))
+		}
+	}
+}
+
+func TestGroupsBoundaries(t *testing.T) {
+	// Zero layers: nothing to prefetch, zero groups.
+	if got := Groups(0, 12); len(got) != 0 {
+		t.Errorf("Groups(0,12) = %v, want empty", got)
+	}
+	// One layer: a single singleton group.
+	if got := Groups(1, 12); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Groups(1,12) = %v, want [1]", got)
+	}
+	// Fewer layers than groups: group count shrinks to the layer count, so
+	// every group holds exactly one layer.
+	got := Groups(5, 12)
+	if len(got) != 5 {
+		t.Fatalf("Groups(5,12) has %d groups, want 5", len(got))
+	}
+	for i, g := range got {
+		if g != 1 {
+			t.Errorf("Groups(5,12)[%d] = %d, want 1", i, g)
+		}
+	}
+	// More layers than groups: all twelve groups populated, even spread.
+	got = Groups(40, 12)
+	if len(got) != 12 || sum(got) != 40 || spread(got) > 1 {
+		t.Errorf("Groups(40,12) = %v, want 12 near-even groups summing to 40", got)
+	}
+}

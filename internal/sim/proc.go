@@ -86,6 +86,53 @@ func (p *Proc) Await(start func(resume func())) {
 	p.block()
 }
 
+// Waiter is a reusable single-completion latch for one process: the
+// allocation-free counterpart of Await for hot loops. The owning process
+// hands Done (or the stable DoneFunc value) to an asynchronous completion and
+// then blocks in Wait; a Done that arrives before Wait (a synchronous
+// completion) is remembered, exactly like Await's fired fast path. A Waiter
+// serves any number of sequential waits, but only one at a time and only for
+// the process it was created for.
+type Waiter struct {
+	p       *Proc
+	fired   bool
+	blocked bool
+	done    func()
+}
+
+// NewWaiter returns a Waiter owned by p.
+func NewWaiter(p *Proc) *Waiter {
+	w := &Waiter{p: p}
+	w.done = w.Done
+	return w
+}
+
+// DoneFunc returns the stable func value bound to Done, so callers can pass
+// the completion callback repeatedly without allocating a closure per wait.
+func (w *Waiter) DoneFunc() func() { return w.done }
+
+// Done signals the completion. Must be called exactly once per Wait, either
+// synchronously before the owner blocks or later from engine context.
+func (w *Waiter) Done() {
+	if !w.blocked {
+		w.fired = true
+		return
+	}
+	w.blocked = false
+	w.p.wakeup()
+}
+
+// Wait blocks the owning process until Done has been called, then resets the
+// latch for the next round. Must be called from the owning process.
+func (w *Waiter) Wait() {
+	if w.fired {
+		w.fired = false
+		return
+	}
+	w.blocked = true
+	w.p.block()
+}
+
 // Sleep suspends the process for d nanoseconds of virtual time.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {

@@ -17,7 +17,8 @@ type chromeEvent struct {
 	Pid  int     `json:"pid"`
 	Tid  int     `json:"tid"`
 	Args struct {
-		Kind string `json:"kind"`
+		Kind  string `json:"kind"`
+		Phase string `json:"phase,omitempty"`
 	} `json:"args"`
 }
 
@@ -41,6 +42,7 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			Tid:  s.Rank,
 		}
 		ev.Args.Kind = s.Kind.String()
+		ev.Args.Phase = s.Phase.String()
 		events = append(events, ev)
 	}
 	enc := json.NewEncoder(w)

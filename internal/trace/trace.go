@@ -70,10 +70,78 @@ func (k Kind) OccupiesGPU() bool {
 	return int(k) < len(kindInfo) && kindInfo[k].gpu
 }
 
+// Class groups kinds into the breakdown buckets of the Fig 5 discussion:
+// GPU compute, NCCL collectives, offload staging copies, host optimizer
+// compute and NVMe I/O. It is the single classification both the breakdown
+// attribution and schedule-IR op tagging share.
+type Class int
+
+// Breakdown classes in display order.
+const (
+	ClassCompute Class = iota
+	ClassCollective
+	ClassOffload
+	ClassHostAdam
+	ClassNVMe
+	// ClassCount sizes per-class accumulators.
+	ClassCount
+)
+
+// Class returns the breakdown class of the kind.
+func (k Kind) Class() Class {
+	switch k {
+	case Gemm, Elementwise, WeightUpdate:
+		return ClassCompute
+	case NCCLAllReduce, NCCLAllGather, NCCLReduceScatter, NCCLReduce, NCCLBroadcast:
+		return ClassCollective
+	case OffloadCopy:
+		return ClassOffload
+	case CPUAdam:
+		return ClassHostAdam
+	case NVMeIO:
+		return ClassNVMe
+	}
+	return ClassCompute
+}
+
+// Phase tags a span with the iteration phase of the schedule op that emitted
+// it. The legacy imperative strategies emit PhaseNone; the compiled schedule
+// IR tags every op, so exported traces can be filtered by phase. Phase never
+// affects rendering, summaries or breakdowns — adding it is golden-safe.
+type Phase uint8
+
+// Iteration phases.
+const (
+	PhaseNone Phase = iota
+	PhaseData
+	PhaseForward
+	PhaseBackward
+	PhaseOptimizer
+	PhasePrefetch
+)
+
+// String returns the phase label used in exported traces.
+func (p Phase) String() string {
+	switch p {
+	case PhaseData:
+		return "data"
+	case PhaseForward:
+		return "forward"
+	case PhaseBackward:
+		return "backward"
+	case PhaseOptimizer:
+		return "optimizer"
+	case PhasePrefetch:
+		return "prefetch"
+	}
+	return ""
+}
+
 // Span is one interval of activity on a rank's timeline.
 type Span struct {
 	Rank  int
 	Kind  Kind
+	Phase Phase
 	Start sim.Time
 	End   sim.Time
 }
@@ -96,10 +164,15 @@ func (t *Trace) Enabled() bool { return t != nil && t.enabled }
 
 // Add records a span (no-op on a nil/disabled trace).
 func (t *Trace) Add(rank int, kind Kind, start, end sim.Time) {
+	t.AddPhased(rank, kind, PhaseNone, start, end)
+}
+
+// AddPhased records a span carrying an iteration phase tag.
+func (t *Trace) AddPhased(rank int, kind Kind, phase Phase, start, end sim.Time) {
 	if !t.Enabled() || end <= start {
 		return
 	}
-	t.spans = append(t.spans, Span{Rank: rank, Kind: kind, Start: start, End: end})
+	t.spans = append(t.spans, Span{Rank: rank, Kind: kind, Phase: phase, Start: start, End: end})
 }
 
 // Spans returns all recorded spans sorted by (rank, start).

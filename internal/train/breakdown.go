@@ -34,63 +34,62 @@ func (b Breakdown) Fraction(part sim.Time) float64 {
 	return f
 }
 
-// BreakdownFor computes the rank-0 breakdown of a traced run. Overlapping
-// spans are resolved by precedence (compute wins over collectives, which win
-// over host-side work), so the buckets sum to Total exactly.
+// BreakdownFor computes the rank-0 breakdown over the trace's own span
+// window. Untraced time inside the window lands in GPUIdle.
 func BreakdownFor(tr *trace.Trace) Breakdown {
+	if !tr.Enabled() {
+		return Breakdown{}
+	}
+	lo, hi := tr.Window()
+	return BreakdownOver(tr, lo, hi)
+}
+
+// BreakdownOver computes the rank-0 breakdown over an explicit [lo, hi)
+// window (e.g. Result.LastIterStart/LastIterEnd, which bracket the traced
+// iteration exactly). Spans are clamped to the window; overlapping spans are
+// resolved by class precedence (compute wins over collectives, which win
+// over host-side work) and time covered by no span — including untraced
+// framework overhead — counts as GPUIdle, so the buckets sum to Total
+// exactly.
+func BreakdownOver(tr *trace.Trace, lo, hi sim.Time) Breakdown {
 	var b Breakdown
 	if !tr.Enabled() {
 		return b
 	}
-	lo, hi := tr.Window()
 	b.Total = hi - lo
 	if b.Total <= 0 {
 		return b
 	}
 
 	// Sweep rank 0's spans over time, classifying each instant by the
-	// highest-precedence active kind.
+	// highest-precedence active class.
 	type edge struct {
 		at    sim.Time
 		delta int
-		class int
-	}
-	const (
-		clCompute = iota
-		clCollective
-		clOffload
-		clHostAdam
-		clNVMe
-		clCount
-	)
-	classify := func(k trace.Kind) int {
-		switch k {
-		case trace.Gemm, trace.Elementwise, trace.WeightUpdate:
-			return clCompute
-		case trace.NCCLAllReduce, trace.NCCLAllGather, trace.NCCLReduceScatter,
-			trace.NCCLReduce, trace.NCCLBroadcast:
-			return clCollective
-		case trace.OffloadCopy:
-			return clOffload
-		case trace.CPUAdam:
-			return clHostAdam
-		case trace.NVMeIO:
-			return clNVMe
-		}
-		return clCompute
+		class trace.Class
 	}
 	var edges []edge
 	for _, s := range tr.Spans() {
 		if s.Rank != 0 {
 			continue
 		}
-		c := classify(s.Kind)
-		edges = append(edges, edge{s.Start, +1, c}, edge{s.End, -1, c})
+		start, end := s.Start, s.End
+		if start < lo {
+			start = lo
+		}
+		if end > hi {
+			end = hi
+		}
+		if end <= start {
+			continue
+		}
+		c := s.Kind.Class()
+		edges = append(edges, edge{start, +1, c}, edge{end, -1, c})
 	}
 	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
 
-	active := make([]int, clCount)
-	buckets := make([]sim.Time, clCount)
+	active := make([]int, trace.ClassCount)
+	buckets := make([]sim.Time, trace.ClassCount)
 	var idle sim.Time
 	prev := lo
 	account := func(until sim.Time) {
@@ -98,7 +97,7 @@ func BreakdownFor(tr *trace.Trace) Breakdown {
 		if d <= 0 {
 			return
 		}
-		for c := 0; c < clCount; c++ {
+		for c := trace.Class(0); c < trace.ClassCount; c++ {
 			if active[c] > 0 {
 				buckets[c] += d
 				return
@@ -113,11 +112,11 @@ func BreakdownFor(tr *trace.Trace) Breakdown {
 	}
 	account(hi)
 
-	b.Compute = buckets[clCompute]
-	b.Collective = buckets[clCollective]
-	b.Offload = buckets[clOffload]
-	b.HostAdam = buckets[clHostAdam]
-	b.NVMe = buckets[clNVMe]
+	b.Compute = buckets[trace.ClassCompute]
+	b.Collective = buckets[trace.ClassCollective]
+	b.Offload = buckets[trace.ClassOffload]
+	b.HostAdam = buckets[trace.ClassHostAdam]
+	b.NVMe = buckets[trace.ClassNVMe]
 	b.GPUIdle = idle
 	return b
 }

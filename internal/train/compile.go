@@ -1,0 +1,434 @@
+package train
+
+import (
+	"fmt"
+
+	"llmbw/internal/collective"
+	"llmbw/internal/memory"
+	"llmbw/internal/sim"
+	"llmbw/internal/topology"
+	"llmbw/internal/trace"
+)
+
+// This file is the schedule compiler: each strategy's imperative iteration
+// (strategies.go / hybrid.go) expressed as a one-time lowering into the op
+// list of schedule.go. Every emit mirrors one legacy call in the same program
+// order with the same precomputed operands, which is what lets the executor
+// replay the exact event sequence of the coroutine path.
+
+// compileIteration lowers the configured strategy into its per-iteration
+// schedule and applies the configured rewrite.
+func (r *Runner) compileIteration() *schedule {
+	b := &schedBuilder{r: r, s: &schedule{}}
+	b.phase = trace.PhaseData
+	b.stage()
+	switch r.cfg.Strategy {
+	case DDP:
+		b.compileDDP()
+	case Megatron:
+		if r.cfg.PipelineParallel > 1 {
+			b.compileMegatronHybrid()
+		} else {
+			b.compileMegatron()
+		}
+	case ZeRO1:
+		b.compileZeRO1()
+	case ZeRO2:
+		b.compileZeRO2()
+	case ZeRO3:
+		b.compileZeRO3()
+	default:
+		panic(fmt.Sprintf("train: unknown strategy %v", r.cfg.Strategy))
+	}
+	return b.s.apply(r.cfg.Rewrite)
+}
+
+// schedBuilder accumulates ops; emits inherit the builder's current phase.
+type schedBuilder struct {
+	r     *Runner
+	s     *schedule
+	phase trace.Phase
+}
+
+func (b *schedBuilder) emit(op schedOp) {
+	op.phase = b.phase
+	b.s.ops = append(b.s.ops, op)
+}
+
+func (b *schedBuilder) stage() { b.emit(schedOp{kind: opStageBatch}) }
+
+func (b *schedBuilder) compute(tk trace.Kind, flops float64) {
+	b.emit(schedOp{kind: opCompute, tk: tk, traced: true, dur: b.r.gpu.KernelTime(flops)})
+}
+
+func (b *schedBuilder) gpuAdam(params int64) {
+	b.emit(schedOp{kind: opCompute, tk: trace.WeightUpdate, traced: true, dur: b.r.gpu.AdamTime(params)})
+}
+
+func (b *schedBuilder) overhead(d sim.Time) { b.emit(schedOp{kind: opOverhead, dur: d}) }
+
+func (b *schedBuilder) alloc(bytes float64) { b.emit(schedOp{kind: opMemAlloc, bytes: bytes}) }
+
+func (b *schedBuilder) free(bytes float64) { b.emit(schedOp{kind: opMemFree, bytes: bytes}) }
+
+func (b *schedBuilder) sync(op collective.Op, payload, limit float64, rings int) {
+	b.emit(schedOp{kind: opCollective, col: op, tk: traceKind(op), traced: true,
+		payload: payload, limit: limit, rings: int8(rings)})
+}
+
+func (b *schedBuilder) syncOn(g *collective.Group, op collective.Op, payload float64) {
+	b.emit(schedOp{kind: opCollective, col: op, group: g, tk: traceKind(op), traced: true,
+		payload: payload, rings: 2})
+}
+
+func (b *schedBuilder) newQueue(limit float64, rings int) int8 {
+	b.s.queues = append(b.s.queues, queueSpec{limit: limit, rings: int8(rings)})
+	return int8(len(b.s.queues) - 1)
+}
+
+func (b *schedBuilder) enqueue(q int8, op collective.Op, payload float64) {
+	b.emit(schedOp{kind: opEnqueue, queue: q, col: op, tk: traceKind(op), traced: true,
+		payload: payload, slot: -1})
+}
+
+func (b *schedBuilder) enqueueSlot(q int8, op collective.Op, payload float64) int16 {
+	slot := int16(b.s.slots)
+	b.s.slots++
+	b.emit(schedOp{kind: opEnqueue, queue: q, col: op, tk: traceKind(op), traced: true,
+		payload: payload, slot: slot})
+	return slot
+}
+
+func (b *schedBuilder) waitSlot(q int8, slot int16) {
+	b.emit(schedOp{kind: opWaitSlot, queue: q, slot: slot})
+}
+
+func (b *schedBuilder) barrier(q int8) { b.emit(schedOp{kind: opBarrier, queue: q}) }
+
+func (b *schedBuilder) offload(bytesPerRank float64) {
+	b.emit(schedOp{kind: opOffloadXfer, tk: trace.OffloadCopy, traced: true, bytes: bytesPerRank})
+}
+
+func (b *schedBuilder) hostAdam(params int64) {
+	d := b.r.cpu.AdamTime(params, 2)
+	if d <= 0 {
+		// The legacy hostAdam emits nothing for an empty step.
+		return
+	}
+	b.emit(schedOp{kind: opCPUAdamStep, tk: trace.CPUAdam, traced: true, dur: d, params: params})
+}
+
+func (b *schedBuilder) nvme(bytesPerRank float64, write bool) {
+	if bytesPerRank <= 0 {
+		// Mirrors nvmeIO's early return.
+		return
+	}
+	b.emit(schedOp{kind: opNVMeIO, tk: trace.NVMeIO, traced: true, bytes: bytesPerRank, write: write})
+}
+
+func (b *schedBuilder) stageAllReduce(groups []*collective.Group, payload float64) {
+	if len(groups) == 1 {
+		b.syncOn(groups[0], collective.AllReduce, payload)
+		return
+	}
+	b.emit(schedOp{kind: opStageAllReduce, tk: trace.NCCLAllReduce, traced: true,
+		groups: groups, payload: payload})
+}
+
+func (b *schedBuilder) boundary(routes []topology.Route, bytes float64) {
+	if len(routes) == 0 || bytes <= 0 {
+		// Mirrors sendBoundaries' early return.
+		return
+	}
+	b.emit(schedOp{kind: opBoundaryXfer, tk: trace.OffloadCopy, traced: true,
+		routes: routes, bytes: bytes})
+}
+
+// z1Collective expands the ZeRO-1 fused-buffer chunk loop at compile time:
+// the chunk count is a pure function of the memory plan.
+func (b *schedBuilder) z1Collective(op collective.Op, payload float64) {
+	chunk := b.r.z1ChunkBytes()
+	for payload > 0 {
+		sz := payload
+		if sz > chunk {
+			sz = chunk
+		}
+		b.sync(op, sz, 0, 1)
+		b.overhead(z1ChunkLatency)
+		payload -= sz
+	}
+}
+
+// forward lowers forwardPass.
+func (b *schedBuilder) forward(mp int) {
+	r := b.r
+	g := r.cfg.Model
+	bt := r.cfg.BatchPerGPU
+	layerF := g.LayerForwardFLOPs(bt) / float64(mp)
+	for l := 0; l < g.Layers; l++ {
+		b.compute(trace.Gemm, layerF)
+		b.alloc(r.layerActivationBytes())
+	}
+	b.compute(trace.Gemm, g.HeadForwardFLOPs(bt)/float64(mp))
+	b.alloc(r.headActivationBytes())
+	b.compute(trace.Elementwise, 0) // loss/softmax epilogue
+}
+
+// optimizer lowers optimizerPhase.
+func (b *schedBuilder) optimizer() {
+	r := b.r
+	world := int64(r.cfg.WorldSize())
+	part := r.cfg.Model.Params() / world
+	partBytes := r.gradBytes / float64(world)
+	switch r.cfg.Offload {
+	case memory.NoOffload:
+		b.gpuAdam(part)
+	case memory.CPUOffload:
+		b.offload(partBytes) // gradients down to pinned host staging
+		b.hostAdam(part)
+		b.offload(partBytes) // updated FP16 params back up
+	case memory.NVMeOptimizer, memory.NVMeOptimizerAndParams:
+		b.offload(partBytes)          // gradients to host
+		b.nvme(12*float64(part), false) // read optimizer partition
+		b.hostAdam(part)
+		b.nvme(12*float64(part), true) // write optimizer partition
+		if r.cfg.Offload == memory.NVMeOptimizerAndParams {
+			b.nvme(partBytes, true) // park updated FP16 params on NVMe
+		} else {
+			b.offload(partBytes) // updated FP16 params back to GPU
+		}
+	}
+}
+
+func (b *schedBuilder) compileDDP() {
+	r := b.r
+	g := r.cfg.Model
+	bt := r.cfg.BatchPerGPU
+	b.phase = trace.PhaseForward
+	b.forward(1)
+
+	q := b.newQueue(0, 2)
+	b.phase = trace.PhaseBackward
+	b.compute(trace.Gemm, 2*g.HeadForwardFLOPs(bt))
+	b.free(r.headActivationBytes())
+	b.alloc(r.recomputeWorkingSet())
+	bk := buckets(g.Layers)
+	perBucket := r.gradBytes / float64(len(bk))
+	for _, k := range bk {
+		b.compute(trace.Gemm, r.backwardFactor()*g.LayerForwardFLOPs(bt)*float64(k))
+		b.free(float64(k) * r.layerActivationBytes())
+		b.enqueue(q, collective.AllReduce, perBucket)
+	}
+	b.free(r.recomputeWorkingSet())
+	b.barrier(q)
+	b.phase = trace.PhaseOptimizer
+	b.gpuAdam(g.Params())
+}
+
+func (b *schedBuilder) compileMegatron() {
+	r := b.r
+	g := r.cfg.Model
+	bt := r.cfg.BatchPerGPU
+	mp := r.cfg.WorldSize()
+	actBytes := float64(bt) * float64(g.SeqLen) * float64(g.Hidden) * 2 // FP16 activations
+
+	layerF := g.LayerForwardFLOPs(bt) / float64(mp)
+	for micro := 0; micro < mp; micro++ {
+		b.phase = trace.PhaseForward
+		for l := 0; l < g.Layers; l++ {
+			b.compute(trace.Gemm, layerF)
+			b.alloc(r.layerActivationBytes())
+			b.sync(collective.AllReduce, actBytes, 0, 2)
+			b.sync(collective.AllReduce, actBytes, 0, 2)
+		}
+		b.compute(trace.Gemm, g.HeadForwardFLOPs(bt)/float64(mp))
+		b.alloc(r.headActivationBytes())
+		b.sync(collective.AllReduce, actBytes, 0, 2)
+
+		b.phase = trace.PhaseBackward
+		for l := 0; l < g.Layers; l++ {
+			b.compute(trace.Gemm, 2*layerF)
+			b.free(r.layerActivationBytes())
+			b.sync(collective.AllReduce, actBytes, 0, 2)
+			b.sync(collective.AllReduce, actBytes, 0, 2)
+		}
+		b.compute(trace.Gemm, 2*g.HeadForwardFLOPs(bt)/float64(mp))
+		b.free(r.headActivationBytes())
+	}
+	b.phase = trace.PhaseOptimizer
+	b.gpuAdam(g.Params() / int64(mp))
+}
+
+func (b *schedBuilder) compileZeRO1() {
+	r := b.r
+	g := r.cfg.Model
+	bt := r.cfg.BatchPerGPU
+	b.phase = trace.PhaseForward
+	b.forward(1)
+	b.phase = trace.PhaseBackward
+	b.compute(trace.Gemm, 2*g.HeadForwardFLOPs(bt))
+	b.free(r.headActivationBytes())
+	b.alloc(r.recomputeWorkingSet())
+	for _, k := range buckets(g.Layers) {
+		b.compute(trace.Gemm, r.backwardFactor()*g.LayerForwardFLOPs(bt)*float64(k))
+		b.free(float64(k) * r.layerActivationBytes())
+	}
+	b.free(r.recomputeWorkingSet())
+	b.phase = trace.PhaseOptimizer
+	b.z1Collective(collective.ReduceScatter, r.gradBytes)
+	b.optimizer()
+	b.z1Collective(collective.AllGather, r.paramBytes)
+}
+
+func (b *schedBuilder) compileZeRO2() {
+	r := b.r
+	g := r.cfg.Model
+	bt := r.cfg.BatchPerGPU
+	b.phase = trace.PhaseForward
+	b.forward(1)
+
+	overlap := r.cfg.Nodes == 1
+	q := b.newQueue(0, 1)
+	b.phase = trace.PhaseBackward
+	b.compute(trace.Gemm, 2*g.HeadForwardFLOPs(bt))
+	b.free(r.headActivationBytes())
+	b.alloc(r.recomputeWorkingSet())
+	bk := buckets(g.Layers)
+	perBucket := r.gradBytes / float64(len(bk))
+	for _, k := range bk {
+		b.compute(trace.Gemm, r.backwardFactor()*g.LayerForwardFLOPs(bt)*float64(k))
+		b.free(float64(k) * r.layerActivationBytes())
+		if overlap {
+			b.enqueue(q, collective.ReduceScatter, perBucket)
+		}
+	}
+	b.free(r.recomputeWorkingSet())
+	if overlap {
+		b.barrier(q)
+	} else {
+		b.sync(collective.ReduceScatter, r.gradBytes, 0, 1)
+	}
+	b.phase = trace.PhaseOptimizer
+	b.optimizer()
+	b.sync(collective.AllGather, r.paramBytes, 0, 1)
+}
+
+func (b *schedBuilder) compileZeRO3() {
+	r := b.r
+	g := r.cfg.Model
+	bt := r.cfg.BatchPerGPU
+	gr := groups(g.Layers)
+	layerParamBytes := 2 * float64(g.LayerParams())
+	embedBytes := 2 * float64(g.EmbeddingParams())
+	groupBytes := func(i int) float64 {
+		bytes := layerParamBytes * float64(gr[i])
+		if i == 0 {
+			bytes += embedBytes
+		}
+		return bytes
+	}
+	if r.cfg.Offload == memory.NVMeOptimizerAndParams {
+		// Parameters start on NVMe: each rank stages its shard up before the
+		// gathers can run.
+		b.phase = trace.PhasePrefetch
+		b.nvme(r.paramBytes/float64(r.cfg.WorldSize()), false)
+	}
+
+	q := b.newQueue(0, 1)
+	slots := make([]int16, len(gr))
+	b.phase = trace.PhasePrefetch
+	slots[0] = b.enqueueSlot(q, collective.AllGather, groupBytes(0))
+	for i := range gr {
+		if i+1 < len(gr) {
+			b.phase = trace.PhasePrefetch
+			slots[i+1] = b.enqueueSlot(q, collective.AllGather, groupBytes(i+1))
+		}
+		b.phase = trace.PhaseForward
+		b.waitSlot(q, slots[i])
+		b.overhead(r.zero3Overhead() * sim.Time(gr[i]))
+		b.compute(trace.Gemm, g.LayerForwardFLOPs(bt)*float64(gr[i]))
+		b.alloc(float64(gr[i]) * r.layerActivationBytes())
+	}
+	b.phase = trace.PhaseForward
+	b.compute(trace.Gemm, g.HeadForwardFLOPs(bt))
+	b.alloc(r.headActivationBytes())
+
+	if r.cfg.Offload == memory.NVMeOptimizerAndParams {
+		b.phase = trace.PhasePrefetch
+		b.nvme(r.paramBytes/float64(r.cfg.WorldSize()), false)
+	}
+	b.phase = trace.PhaseBackward
+	b.compute(trace.Gemm, 2*g.HeadForwardFLOPs(bt))
+	b.free(r.headActivationBytes())
+	b.alloc(r.recomputeWorkingSet())
+	bq := b.newQueue(0, 1)
+	bslots := make([]int16, len(gr))
+	last := len(gr) - 1
+	b.phase = trace.PhasePrefetch
+	bslots[last] = b.enqueueSlot(bq, collective.AllGather, groupBytes(last))
+	for i := last; i >= 0; i-- {
+		if i-1 >= 0 {
+			b.phase = trace.PhasePrefetch
+			bslots[i-1] = b.enqueueSlot(bq, collective.AllGather, groupBytes(i-1))
+		}
+		b.phase = trace.PhaseBackward
+		b.waitSlot(bq, bslots[i])
+		b.overhead(r.zero3Overhead() * sim.Time(gr[i]))
+		b.compute(trace.Gemm, r.backwardFactor()*g.LayerForwardFLOPs(bt)*float64(gr[i]))
+		b.free(float64(gr[i]) * r.layerActivationBytes())
+		b.enqueue(bq, collective.ReduceScatter, groupBytes(i))
+	}
+	b.free(r.recomputeWorkingSet())
+	b.barrier(bq)
+	b.phase = trace.PhaseOptimizer
+	b.optimizer()
+}
+
+func (b *schedBuilder) compileMegatronHybrid() {
+	r := b.r
+	g := r.cfg.Model
+	bt := r.cfg.BatchPerGPU
+	tp, pp := r.cfg.TensorParallel, r.cfg.PipelineParallel
+	micro := r.cfg.WorldSize() // gradient-accumulation microbatches
+
+	// Stage groups and boundary routes are compiled once and reused every
+	// iteration (they are pure functions of the topology), which also keeps
+	// their collective plan pools warm across iterations.
+	stages := r.stageGroups(tp, pp)
+	boundaries := r.stageBoundaryRoutes(tp, pp)
+	actBytes := float64(bt) * float64(g.SeqLen) * float64(g.Hidden) * 2
+
+	layersPerStage := (g.Layers + pp - 1) / pp
+	layerF := g.LayerForwardFLOPs(bt) / float64(tp)
+
+	slot := func(backward bool) {
+		mult := 1.0
+		if backward {
+			mult = 2
+		}
+		for l := 0; l < layersPerStage; l++ {
+			b.compute(trace.Gemm, mult*layerF)
+			if tp > 1 {
+				b.stageAllReduce(stages, actBytes)
+				b.stageAllReduce(stages, actBytes)
+			}
+		}
+		b.boundary(boundaries, actBytes*float64(tp))
+	}
+
+	actResident := float64(g.Layers)*r.layerActivationBytes() + r.headActivationBytes()
+	b.phase = trace.PhaseForward
+	b.alloc(actResident)
+	fwdSlots := micro + pp - 1
+	for s := 0; s < fwdSlots; s++ {
+		slot(false)
+	}
+	b.compute(trace.Gemm, 3*g.HeadForwardFLOPs(bt)/float64(tp))
+	b.phase = trace.PhaseBackward
+	for s := 0; s < fwdSlots; s++ {
+		slot(true)
+	}
+	b.free(actResident)
+	b.phase = trace.PhaseOptimizer
+	b.gpuAdam(g.Params() / int64(tp*pp))
+}

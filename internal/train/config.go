@@ -112,6 +112,10 @@ type Config struct {
 	// mid-run events (e.g. cluster.Eng.Schedule + cluster.Net.SetCapacity)
 	// for resilience studies.
 	FaultInjection func(c *topology.Cluster)
+	// Rewrite applies a schedule-level ablation (see Rewrite). Non-zero
+	// values force the compiled-schedule execution path regardless of the
+	// CompiledSchedules toggle.
+	Rewrite Rewrite
 }
 
 // withDefaults fills unset fields.

@@ -63,18 +63,19 @@ func TestSummaryJSONByteStable(t *testing.T) {
 }
 
 // TestFastPathsMatchLegacyPaths is the end-to-end determinism A/B for the
-// performance machinery: compiled collective plans and batched flow admission
-// must leave the serialized training summary byte-identical to the
-// rebuild-per-issue / per-flow-admission paths they replaced, in every toggle
-// combination. Strategies are chosen to cover the comm-queue pipelines
-// (ZeRO-3), fused dual-ring collectives (DDP) and the hybrid-parallel
-// boundary exchange (Megatron).
+// performance machinery: compiled collective plans, batched flow admission
+// and compiled schedule replay must leave the serialized training summary
+// byte-identical to the rebuild-per-issue / per-flow-admission / imperative-
+// coroutine paths they replaced, in every toggle combination of the 2×2×2
+// matrix. Strategies are chosen to cover the comm-queue pipelines (ZeRO-3),
+// fused dual-ring collectives (DDP) and the hybrid-parallel boundary
+// exchange (Megatron).
 func TestFastPathsMatchLegacyPaths(t *testing.T) {
-	run := func(cfg Config, plans, batch bool) []byte {
-		defer func(p, b bool) {
-			collective.CompiledPlans, fabric.BatchAdmission = p, b
-		}(collective.CompiledPlans, fabric.BatchAdmission)
-		collective.CompiledPlans, fabric.BatchAdmission = plans, batch
+	run := func(cfg Config, plans, batch, ir bool) []byte {
+		defer func(p, b, s bool) {
+			collective.CompiledPlans, fabric.BatchAdmission, CompiledSchedules = p, b, s
+		}(collective.CompiledPlans, fabric.BatchAdmission, CompiledSchedules)
+		collective.CompiledPlans, fabric.BatchAdmission, CompiledSchedules = plans, batch, ir
 		res, err := Run(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -91,16 +92,20 @@ func TestFastPathsMatchLegacyPaths(t *testing.T) {
 		{Strategy: ZeRO3, Model: model.NewGPT(8), Iterations: 2, Warmup: 1, Nodes: 2},
 	}
 	for _, cfg := range cfgs {
-		fast := run(cfg, true, true)
+		fast := run(cfg, true, true, true)
 		for _, m := range []struct {
-			name         string
-			plans, batch bool
+			name             string
+			plans, batch, ir bool
 		}{
-			{"legacy(plans=off,batch=off)", false, false},
-			{"plans-only", true, false},
-			{"batch-only", false, true},
+			{"legacy(plans=off,batch=off,ir=off)", false, false, false},
+			{"plans-only", true, false, false},
+			{"batch-only", false, true, false},
+			{"ir-only", false, false, true},
+			{"plans+batch", true, true, false},
+			{"plans+ir", true, false, true},
+			{"batch+ir", false, true, true},
 		} {
-			if got := run(cfg, m.plans, m.batch); !bytes.Equal(fast, got) {
+			if got := run(cfg, m.plans, m.batch, m.ir); !bytes.Equal(fast, got) {
 				t.Errorf("%s: %s summary differs from the fast path:\n%s\n----\n%s",
 					cfg.Name(), m.name, fast, got)
 			}

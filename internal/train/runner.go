@@ -79,6 +79,12 @@ type Result struct {
 	Trace *trace.Trace
 
 	MeasureStart, MeasureEnd sim.Time
+	// LastIterStart/LastIterEnd bracket the final measured iteration — the
+	// one the trace records when Config.Trace is set. BreakdownOver sums a
+	// trace against exactly this window, so components (including untraced
+	// framework overhead, which lands in GPUIdle) account for the full
+	// iteration.
+	LastIterStart, LastIterEnd sim.Time
 }
 
 // Runner executes a training configuration on a fresh simulated cluster.
@@ -101,10 +107,18 @@ type Runner struct {
 	// flowScratch collects per-rank flows for batched admission; StartFlows
 	// does not retain the slice, so one buffer serves every call site.
 	flowScratch []*fabric.Flow
+
+	// exec/waiter are the compiled-schedule replay state, built lazily on the
+	// first iteration of the CompiledSchedules path and reused thereafter.
+	exec   *executor
+	waiter *sim.Waiter
 }
 
-// Run executes the configuration and returns measurements.
-func Run(cfg Config) (*Result, error) {
+// newRunner validates the configuration and builds the simulated cluster and
+// runner state without starting the simulation. Run drives it to completion;
+// the bench/alloc harnesses use it to replay iterations under their own
+// engine control.
+func newRunner(cfg Config) (*Runner, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -162,6 +176,16 @@ func Run(cfg Config) (*Result, error) {
 	r.gradBytes = 2 * r.psi
 	r.paramBytes = 2 * r.psi
 	r.initMemTracker()
+	return r, nil
+}
+
+// Run executes the configuration and returns measurements.
+func Run(cfg Config) (*Result, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg, prof, cluster := r.cfg, r.prof, r.cluster
 
 	res := &Result{Config: cfg, Profile: prof}
 	eng := cluster.Eng
@@ -176,7 +200,13 @@ func Run(cfg Config) (*Result, error) {
 			if cfg.Trace && i == cfg.Iterations-1 {
 				r.tr = trace.New()
 			}
+			if i == cfg.Iterations-1 {
+				res.LastIterStart = p.Now()
+			}
 			r.runIteration(p)
+			if i == cfg.Iterations-1 {
+				res.LastIterEnd = p.Now()
+			}
 			if cfg.CheckpointEvery > 0 && (i+1)%cfg.CheckpointEvery == 0 {
 				r.writeCheckpoint(p)
 			}

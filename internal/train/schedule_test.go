@@ -1,0 +1,293 @@
+package train
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"llmbw/internal/memory"
+	"llmbw/internal/model"
+	"llmbw/internal/sim"
+)
+
+// irCases covers every strategy × offload shape the compiler lowers: the
+// comm-queue pipelines (DDP buckets, ZeRO-2 overlap, ZeRO-3 prefetch), pure
+// and hybrid model parallelism, the ZeRO-1 chunk loop, and the CPU/NVMe
+// offload optimizer phases.
+func irCases() []struct {
+	name string
+	cfg  Config
+} {
+	g := model.NewGPT(8)
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"ddp", Config{Strategy: DDP, Model: g, Iterations: 2, Warmup: 1}},
+		{"ddp-dual", Config{Strategy: DDP, Model: g, Nodes: 2, Iterations: 2, Warmup: 1}},
+		{"ddp-ckpt", Config{Strategy: DDP, Model: g, Iterations: 2, Warmup: 1, CheckpointEvery: 1}},
+		{"megatron", Config{Strategy: Megatron, Model: g, Iterations: 1, Warmup: 0}},
+		{"hybrid-tp4pp2", Config{Strategy: Megatron, Model: g, Nodes: 2,
+			TensorParallel: 4, PipelineParallel: 2, Iterations: 1, Warmup: 1}},
+		{"zero1", Config{Strategy: ZeRO1, Model: g, Iterations: 2, Warmup: 1}},
+		{"zero2-dual", Config{Strategy: ZeRO2, Model: g, Nodes: 2, Iterations: 2, Warmup: 1}},
+		{"zero2-cpu", Config{Strategy: ZeRO2, Offload: memory.CPUOffload, Model: g, Iterations: 2, Warmup: 1}},
+		{"zero3-dual", Config{Strategy: ZeRO3, Model: g, Nodes: 2, Iterations: 2, Warmup: 1}},
+		{"zero3-nvme-opt", Config{Strategy: ZeRO3, Offload: memory.NVMeOptimizer,
+			Model: g, Iterations: 1, Warmup: 1}},
+		{"zero3-nvme-opt-param", Config{Strategy: ZeRO3, Offload: memory.NVMeOptimizerAndParams,
+			Model: g, Iterations: 1, Warmup: 1}},
+	}
+}
+
+// runWithIR runs the configuration with the compiled-schedule path forced on
+// or off.
+func runWithIR(t *testing.T, cfg Config, ir bool) *Result {
+	t.Helper()
+	defer func(s bool) { CompiledSchedules = s }(CompiledSchedules)
+	CompiledSchedules = ir
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestScheduleIRMatchesImperative is the tentpole A/B: for every strategy and
+// offload shape, replaying the compiled schedule must be byte-identical to
+// the imperative coroutine path — same serialized summary, same runtime
+// memory peak, and the same trace spans (modulo the phase tag, which only the
+// IR emits).
+func TestScheduleIRMatchesImperative(t *testing.T) {
+	for _, c := range irCases() {
+		cfg := c.cfg
+		cfg.Trace = true
+		legacy := runWithIR(t, cfg, false)
+		compiled := runWithIR(t, cfg, true)
+
+		var lb, cb bytes.Buffer
+		if err := legacy.WriteJSON(&lb); err != nil {
+			t.Fatal(err)
+		}
+		if err := compiled.WriteJSON(&cb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(lb.Bytes(), cb.Bytes()) {
+			t.Errorf("%s: compiled-schedule summary differs from imperative:\n%s\n----\n%s",
+				c.name, lb.Bytes(), cb.Bytes())
+			continue
+		}
+		if legacy.PeakGPUBytes != compiled.PeakGPUBytes {
+			t.Errorf("%s: peak GPU bytes %g (imperative) vs %g (compiled)",
+				c.name, legacy.PeakGPUBytes, compiled.PeakGPUBytes)
+		}
+		ls, cs := legacy.Trace.Spans(), compiled.Trace.Spans()
+		if len(ls) != len(cs) {
+			t.Errorf("%s: %d trace spans (imperative) vs %d (compiled)", c.name, len(ls), len(cs))
+			continue
+		}
+		for i := range ls {
+			l, cc := ls[i], cs[i]
+			if l.Rank != cc.Rank || l.Kind != cc.Kind || l.Start != cc.Start || l.End != cc.End {
+				t.Errorf("%s: span %d differs: imperative %+v vs compiled %+v", c.name, i, l, cc)
+				break
+			}
+		}
+	}
+}
+
+// TestSchedulePhaseTags checks the op-tagged trace output: the compiled path
+// tags every span with its iteration phase, and a traced iteration covers the
+// phases the strategy actually has.
+func TestSchedulePhaseTags(t *testing.T) {
+	cfg := Config{Strategy: ZeRO3, Model: model.NewGPT(8), Nodes: 2,
+		Iterations: 1, Warmup: 1, Trace: true}
+	res := runWithIR(t, cfg, true)
+	seen := map[string]bool{}
+	for _, s := range res.Trace.Spans() {
+		seen[s.Phase.String()] = true
+	}
+	if seen[""] {
+		t.Error("compiled path emitted an untagged span")
+	}
+	for _, want := range []string{"forward", "backward", "optimizer", "prefetch"} {
+		if !seen[want] {
+			t.Errorf("traced ZeRO-3 iteration has no %q span (phases seen: %v)", want, seen)
+		}
+	}
+}
+
+// TestBreakdownComponentsSumToIterTime is the per-strategy accounting check:
+// over the exact last-iteration window, the ext-breakdown components
+// (compute, collectives, offload copies, CPUAdam, NVMe, idle) must sum to
+// the iteration time. Component arithmetic is exact integer time by
+// construction; the window-vs-IterTime comparison allows the per-iteration
+// division remainder.
+func TestBreakdownComponentsSumToIterTime(t *testing.T) {
+	for _, c := range irCases() {
+		if c.cfg.CheckpointEvery > 0 {
+			continue // checkpoint time sits between iterations, outside the window
+		}
+		cfg := c.cfg
+		cfg.Trace = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := BreakdownOver(res.Trace, res.LastIterStart, res.LastIterEnd)
+		sum := b.Compute + b.Collective + b.Offload + b.HostAdam + b.NVMe + b.GPUIdle
+		if sum != b.Total {
+			t.Errorf("%s: components sum to %v, want Total %v", c.name, sum, b.Total)
+		}
+		if got, want := b.Total, res.LastIterEnd-res.LastIterStart; got != want {
+			t.Errorf("%s: breakdown total %v does not match the iteration window %v", c.name, got, want)
+		}
+		// IterTime averages the measured iterations with integer division;
+		// steady-state iterations are identical, so the last-iteration window
+		// may differ only by the division remainder.
+		diff := b.Total - res.IterTime
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > sim.Time(res.Iterations) {
+			t.Errorf("%s: last-iteration window %v vs IterTime %v (diff %d > %d)",
+				c.name, b.Total, res.IterTime, int64(diff), res.Iterations)
+		}
+	}
+}
+
+// TestSerializeCommRewrite checks the schedule rewrite at both levels: the
+// transformed program contains no stream ops, and executing it exposes the
+// communication the stream schedule was hiding.
+func TestSerializeCommRewrite(t *testing.T) {
+	base := Config{Strategy: ZeRO3, Model: model.NewGPT(8), Nodes: 2, Iterations: 1, Warmup: 1}
+
+	// Program level: the rewrite must drop every enqueue/wait/barrier and
+	// keep the collectives as exposed ops.
+	r, err := newRunner(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(s *schedule, k opKind) int {
+		n := 0
+		for i := range s.ops {
+			if s.ops[i].kind == k {
+				n++
+			}
+		}
+		return n
+	}
+	orig := r.compileIteration()
+	enq := count(orig, opEnqueue)
+	if enq == 0 {
+		t.Fatal("ZeRO-3 schedule compiled without stream collectives")
+	}
+	rw := orig.serializeComm()
+	if got := count(rw, opEnqueue) + count(rw, opWaitSlot) + count(rw, opBarrier); got != 0 {
+		t.Errorf("serialized schedule retains %d stream ops", got)
+	}
+	if got, want := count(rw, opCollective), count(orig, opCollective)+enq; got != want {
+		t.Errorf("serialized schedule has %d exposed collectives, want %d", got, want)
+	}
+
+	// Execution level: serializing must cost iteration time (the overlap
+	// gain), and the rewrite must run even with the IR toggle off.
+	overlapped, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := base
+	serial.Rewrite = RewriteSerializeComm
+	defer func(s bool) { CompiledSchedules = s }(CompiledSchedules)
+	CompiledSchedules = false
+	serialized, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialized.IterTime <= overlapped.IterTime {
+		t.Errorf("serialize-comm iteration %v not slower than overlapped %v",
+			serialized.IterTime, overlapped.IterTime)
+	}
+}
+
+// steadyIterAllocs measures heap allocations per iteration once the schedule
+// executor's pools are warm. The huge telemetry window keeps sample-series
+// growth out of the measurement.
+func steadyIterAllocs(tb testing.TB, cfg Config) float64 {
+	cfg.Window = 1 << 40
+	r, err := newRunner(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	const measured = 8
+	var mallocs uint64
+	r.cluster.Eng.Go("alloc-probe", func(p *sim.Proc) {
+		r.initializeParameters(p)
+		for i := 0; i < 4; i++ {
+			r.runIteration(p) // compile the schedule, warm every pool
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < measured; i++ {
+			r.runIteration(p)
+		}
+		runtime.ReadMemStats(&m1)
+		mallocs = m1.Mallocs - m0.Mallocs
+	})
+	r.cluster.Eng.Run()
+	return float64(mallocs) / measured
+}
+
+// TestScheduleReplayAllocFree pins the tentpole's zero-allocation claim:
+// steady-state schedule replay must not allocate, for the richest pipelines
+// the compiler emits.
+func TestScheduleReplayAllocFree(t *testing.T) {
+	g := model.NewGPT(8)
+	for _, c := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"ddp", Config{Strategy: DDP, Model: g}},
+		{"zero3-dual", Config{Strategy: ZeRO3, Model: g, Nodes: 2}},
+		{"hybrid-tp4pp2", Config{Strategy: Megatron, Model: g, Nodes: 2,
+			TensorParallel: 4, PipelineParallel: 2}},
+		{"zero2-cpu", Config{Strategy: ZeRO2, Offload: memory.CPUOffload, Model: g}},
+	} {
+		if got := steadyIterAllocs(t, c.cfg); got != 0 {
+			t.Errorf("%s: steady-state schedule replay allocates %v allocs/iteration, want 0", c.name, got)
+		}
+	}
+}
+
+// benchScheduleSteady measures one steady-state training iteration end to end
+// (compute spans, stream collectives, fabric flows, event core) on a
+// dual-node ZeRO-3 configuration — the strategy with the richest schedule.
+func benchScheduleSteady(b *testing.B, ir bool) {
+	defer func(s bool) { CompiledSchedules = s }(CompiledSchedules)
+	CompiledSchedules = ir
+	cfg := Config{Strategy: ZeRO3, Model: model.NewGPT(8), Nodes: 2, Window: 1 << 40}
+	r, err := newRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.cluster.Eng.Go("bench", func(p *sim.Proc) {
+		r.initializeParameters(p)
+		for i := 0; i < 4; i++ {
+			r.runIteration(p)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.runIteration(p)
+		}
+	})
+	r.cluster.Eng.Run()
+}
+
+// BenchmarkScheduleReplaySteady is the compiled-schedule replay path; its
+// allocs/op is pinned at zero by TestScheduleReplayAllocFree.
+func BenchmarkScheduleReplaySteady(b *testing.B) { benchScheduleSteady(b, true) }
+
+// BenchmarkScheduleLegacySteady is the imperative coroutine path, for
+// comparison.
+func BenchmarkScheduleLegacySteady(b *testing.B) { benchScheduleSteady(b, false) }

