@@ -37,13 +37,16 @@ fuzz-smoke:
 ## bench: run the hot-path benchmarks and record machine-readable results —
 ## the substrate micro-benchmarks in BENCH_fabric.json, the repeated-
 ## collective replay-vs-rebuild macro-benchmark in BENCH_collective.json,
-## and the schedule-IR replay-vs-imperative iteration benchmark (which pins
-## the compiled path at zero steady-state allocations) in BENCH_train.json.
+## the schedule-IR replay-vs-imperative iteration benchmark (which pins
+## the compiled path at zero steady-state allocations) in BENCH_train.json,
+## and the sharded-engine serial-vs-parallel steady-state scaling grid
+## (1/2/4 shards at 2/8/16 nodes) in BENCH_sim.json.
 bench:
 	$(GO) test -run '^$$' -bench 'FabricFairShare|SimEngineEvents|CollectiveAllReduce' -benchmem -json . > BENCH_fabric.json
 	$(GO) test -run '^$$' -bench 'CollectiveReplaySteady|CollectiveRebuildSteady' -benchmem -json . > BENCH_collective.json
 	$(GO) test -run '^$$' -bench 'ScheduleReplaySteady|ScheduleLegacySteady' -benchmem -json ./internal/train > BENCH_train.json
-	@grep -oh '"Output":"Benchmark[^"]*' BENCH_fabric.json BENCH_collective.json BENCH_train.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
+	$(GO) test -run '^$$' -bench 'ShardedEngineSteady' -benchmem -json ./internal/sim > BENCH_sim.json
+	@grep -oh '"Output":"Benchmark[^"]*' BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
 
 clean:
-	rm -f BENCH_fabric.json BENCH_collective.json BENCH_train.json
+	rm -f BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json

@@ -55,8 +55,10 @@ func main() {
 	stressSeconds := flag.Float64("stress-seconds", 10, "simulated duration of bandwidth stress kernels")
 	artifacts := flag.String("artifacts", "", "directory for machine-readable artifacts (Chrome traces, CSV series)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently; 1 runs serially")
+	shards := flag.Int("shards", 0, "simulation shards per training run; <=1 runs each simulation serially")
 	flag.Parse()
 	*parallel = runner.ClampParallel(*parallel)
+	*shards = runner.ClampParallel(*shards)
 
 	if *list {
 		fmt.Println("paper reproductions:")
@@ -87,6 +89,7 @@ func main() {
 		PatternSeconds: *patternSeconds,
 		StressSeconds:  *stressSeconds,
 		ArtifactsDir:   *artifacts,
+		Shards:         *shards,
 	}
 
 	// Resolve the experiment list up front so an unknown id fails before any

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"io"
 	"testing"
@@ -60,6 +61,33 @@ func TestParallelFlagClamped(t *testing.T) {
 	for flagValue, want := range map[int]int{-4: 1, -1: 1, 0: 1, 1: 1, 8: 8} {
 		if got := runner.ClampParallel(flagValue); got != want {
 			t.Errorf("ClampParallel(%d) = %d, want %d", flagValue, got, want)
+		}
+	}
+}
+
+// TestShardsFlagClamped pins the -shards contract: the flag parses like
+// -parallel and clamps through the same runner.ClampParallel mapping, so an
+// explicit or default <= 0 lands at 1 — which train.Config treats as the
+// plain serial engine — and positive counts pass through.
+func TestShardsFlagClamped(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{nil, 1}, // default: serial simulation
+		{[]string{"-shards", "-3"}, 1},
+		{[]string{"-shards", "0"}, 1},
+		{[]string{"-shards", "1"}, 1},
+		{[]string{"-shards", "4"}, 4},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("bwchar", flag.ContinueOnError)
+		shards := fs.Int("shards", 0, "")
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatal(err)
+		}
+		if got := runner.ClampParallel(*shards); got != tc.want {
+			t.Errorf("args %v clamp to %d shards, want %d", tc.args, got, tc.want)
 		}
 	}
 }

@@ -40,8 +40,10 @@ func main() {
 	iterations := flag.Int("iterations", 3, "measured iterations per point")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON summaries instead of a table")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep points to simulate concurrently; 1 runs serially")
+	shards := flag.Int("shards", 0, "simulation shards per sweep point; <=1 runs each simulation serially")
 	flag.Parse()
 	*parallel = runner.ClampParallel(*parallel)
+	*shards = runner.ClampParallel(*shards)
 
 	strat, ok := strategies[*strategy]
 	if !ok {
@@ -53,7 +55,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: unknown offload %q\n", *offload)
 		os.Exit(2)
 	}
-	base := train.Config{Strategy: strat, Offload: off, Nodes: *nodes, Iterations: *iterations, Warmup: 1}
+	base := train.Config{Strategy: strat, Offload: off, Nodes: *nodes, Iterations: *iterations, Warmup: 1, Shards: *shards}
 	maxLayers := base.Profile().MaxLayers(model.DefaultBatchSize, 4)
 	if maxLayers == 0 {
 		fmt.Fprintln(os.Stderr, "sweep: configuration fits no model at all")

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"flag"
 	"reflect"
 	"testing"
 
 	"llmbw/internal/model"
 	"llmbw/internal/runner"
+	"llmbw/internal/train"
 )
 
 // TestParseSizesOrderStable: the sweep's serialized table renders rows in
@@ -49,6 +51,38 @@ func TestParallelFlagClamped(t *testing.T) {
 	for flagValue, want := range map[int]int{-4: 1, -1: 1, 0: 1, 1: 1, 8: 8} {
 		if got := runner.ClampParallel(flagValue); got != want {
 			t.Errorf("ClampParallel(%d) = %d, want %d", flagValue, got, want)
+		}
+	}
+}
+
+// TestShardsFlagClamped pins the -shards contract: the flag clamps through
+// the same runner.ClampParallel mapping as -parallel, so the default and any
+// explicit <= 0 land at 1 — which train.Config treats as the plain serial
+// engine — and the clamped value reaches the sweep's base Config unchanged.
+func TestShardsFlagClamped(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{nil, 1}, // default: serial simulation
+		{[]string{"-shards", "-3"}, 1},
+		{[]string{"-shards", "0"}, 1},
+		{[]string{"-shards", "1"}, 1},
+		{[]string{"-shards", "4"}, 4},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+		shards := fs.Int("shards", 0, "")
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatal(err)
+		}
+		clamped := runner.ClampParallel(*shards)
+		if clamped != tc.want {
+			t.Errorf("args %v clamp to %d shards, want %d", tc.args, clamped, tc.want)
+		}
+		base := train.Config{Strategy: train.DDP, Model: model.NewGPT(4), Shards: clamped}
+		if err := base.Validate(); err != nil {
+			t.Errorf("clamped shards %d rejected by train.Config: %v", clamped, err)
 		}
 	}
 }

@@ -60,6 +60,10 @@ type Options struct {
 	// the Fig 5 timelines (viewable in ui.perfetto.dev) and CSV bandwidth
 	// series for the pattern figures (Fig 9, 10, 12).
 	ArtifactsDir string
+	// Shards selects the training runs' simulation engine: > 1 the sharded
+	// engine with that many shards, <= 1 the plain serial one (see
+	// train.Config.Shards).
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -151,6 +155,7 @@ func RunMax(cfg train.Config, opt Options) (*train.Result, error) {
 	cfg.Model = MaxModel(cfg)
 	cfg.Iterations = opt.Iterations
 	cfg.Warmup = opt.Warmup
+	cfg.Shards = opt.Shards
 	return train.RunCached(cfg)
 }
 
@@ -160,6 +165,7 @@ func RunAt(cfg train.Config, g model.GPT, opt Options) (*train.Result, error) {
 	cfg.Model = g
 	cfg.Iterations = opt.Iterations
 	cfg.Warmup = opt.Warmup
+	cfg.Shards = opt.Shards
 	return train.RunCached(cfg)
 }
 
@@ -172,6 +178,7 @@ func RunForDuration(cfg train.Config, g model.GPT, seconds float64, opt Options)
 	probe.Model = g
 	probe.Iterations = 1
 	probe.Warmup = 1
+	probe.Shards = opt.Shards
 	pr, err := train.RunCached(probe)
 	if err != nil {
 		return nil, err
@@ -186,5 +193,6 @@ func RunForDuration(cfg train.Config, g model.GPT, seconds float64, opt Options)
 	cfg.Model = g
 	cfg.Iterations = iters
 	cfg.Warmup = opt.Warmup
+	cfg.Shards = opt.Shards
 	return train.RunCached(cfg)
 }

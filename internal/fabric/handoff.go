@@ -1,0 +1,186 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+
+	"llmbw/internal/sim"
+)
+
+// Handoff executes store-and-forward transfers between two partitions of a
+// sharded simulation: a source-side flow over the sender's links, a fixed
+// wire latency crossing the shard boundary, then a destination-side flow
+// over the receiver's links. The wire latency must be at or above the
+// Connect-declared lookahead of the shard edge — that is the contract that
+// lets the two shards' fair-share computations stay decoupled and the
+// parallel engine stay byte-identical to serial. (A single fluid flow whose
+// path spans both partitions would couple their rate allocations with zero
+// lookahead; such traffic cannot be sharded and must be colocated instead.)
+//
+// Transfer records are pooled with bound-once closures, so a steady stream
+// of handoffs allocates nothing. The pool is the one piece of state both
+// shards touch — acquired on the source, released on the destination — and
+// is mutex-protected; records are interchangeable, so pool order never
+// affects simulation output.
+type Handoff struct {
+	se       *sim.ShardedEngine // nil = single-engine (local) mode
+	from, to int
+	latency  sim.Time
+	src, dst *Network
+
+	srcCap capCache // optional sender-side rate cap (read on the source shard)
+	dstCap capCache // optional receiver-side rate cap (read on the destination shard)
+
+	mu   sync.Mutex
+	free []*handoffXfer
+}
+
+// handoffXfer is one pooled transfer in flight. The three closures are bound
+// at allocation and reused for the record's lifetime: hop runs on the source
+// shard when the source flow drains, land runs on the destination shard when
+// the wire latency elapses, finish recycles the record before invoking the
+// caller's completion.
+type handoffXfer struct {
+	h       *Handoff
+	srcFlow Flow
+	dstFlow Flow
+	onDone  func()
+	hop     func()
+	land    func()
+	finish  func()
+}
+
+// NewHandoff creates a handoff channel from shard from to shard to with the
+// given wire latency, moving bytes off network src onto network dst. With a
+// sharded engine and distinct shards, the edge must have been Connected and
+// the latency must respect its lookahead. A nil engine (or from == to) runs
+// the hop as a plain local delay, in which case both networks must share one
+// engine — the mode plain single-engine simulations and colocated shards use.
+func NewHandoff(se *sim.ShardedEngine, from, to int, latency sim.Time, src, dst *Network) *Handoff {
+	if latency < 0 {
+		panic(fmt.Sprintf("fabric: negative handoff latency %v", latency))
+	}
+	if se != nil && from != to {
+		la, ok := se.Lookahead(from, to)
+		if !ok {
+			panic(fmt.Sprintf("fabric: handoff %d->%d without a Connect edge", from, to))
+		}
+		if latency < la {
+			panic(fmt.Sprintf("fabric: handoff %d->%d latency %v below lookahead %v", from, to, latency, la))
+		}
+	} else if src.eng != dst.eng {
+		panic("fabric: local handoff between networks on different engines")
+	}
+	h := &Handoff{se: se, from: from, to: to, latency: latency, src: src, dst: dst}
+	h.srcCap.net = src
+	h.dstCap.net = dst
+	return h
+}
+
+// Latency returns the wire latency of the hop.
+func (h *Handoff) Latency() sim.Time { return h.latency }
+
+// SetSrcCapPath caps every source-side flow at the minimum capacity along
+// path (0 clears the cap). The value is cached and revalidated against the
+// source network's capacity epoch, so mid-run SetCapacity calls — link
+// degradations, what-if rescaling — are picked up without recomputing the
+// minimum on every transfer.
+func (h *Handoff) SetSrcCapPath(path []*Link) { h.srcCap.set(path) }
+
+// SetDstCapPath is SetSrcCapPath for the destination-side flow.
+func (h *Handoff) SetDstCapPath(path []*Link) { h.dstCap.set(path) }
+
+// Send starts a store-and-forward transfer of bytes: srcPath now, the wire
+// hop when the source flow drains, dstPath on the far side, then onDone
+// (invoked in destination-shard engine context; may be nil). Send must be
+// called from source-shard execution context, and the path slices must not
+// be mutated until the transfer completes.
+func (h *Handoff) Send(name string, bytes float64, srcPath, dstPath []*Link, onDone func()) {
+	x := h.acquire()
+	x.onDone = onDone
+	x.srcFlow.Name = name
+	x.srcFlow.Path = srcPath
+	x.srcFlow.Bytes = bytes
+	x.srcFlow.RateLimit = h.srcCap.value()
+	x.dstFlow.Name = name
+	x.dstFlow.Path = dstPath
+	x.dstFlow.Bytes = bytes
+	h.src.StartFlow(&x.srcFlow, x.hop)
+}
+
+func (h *Handoff) acquire() *handoffXfer {
+	h.mu.Lock()
+	if n := len(h.free); n > 0 {
+		x := h.free[n-1]
+		h.free[n-1] = nil
+		h.free = h.free[:n-1]
+		h.mu.Unlock()
+		return x
+	}
+	h.mu.Unlock()
+	x := &handoffXfer{h: h}
+	x.hop = func() {
+		if x.h.se != nil {
+			x.h.se.Inject(x.h.from, x.h.to, x.h.latency, x.land)
+		} else {
+			x.h.dst.eng.Schedule(x.h.latency, x.land)
+		}
+	}
+	x.land = func() {
+		x.dstFlow.RateLimit = x.h.dstCap.value()
+		x.h.dst.StartFlow(&x.dstFlow, x.finish)
+	}
+	x.finish = func() {
+		cb := x.onDone
+		x.onDone = nil
+		x.h.recycle(x)
+		if cb != nil {
+			cb()
+		}
+	}
+	return x
+}
+
+// recycle returns x to the pool before the completion callback runs, so a
+// callback that immediately Sends again (ring traffic) reuses the record.
+func (h *Handoff) recycle(x *handoffXfer) {
+	x.srcFlow.Path = nil
+	x.dstFlow.Path = nil
+	h.mu.Lock()
+	h.free = append(h.free, x)
+	h.mu.Unlock()
+}
+
+// capCache memoizes the minimum capacity along a path, fenced by the owning
+// network's capacity epoch — the same revalidation discipline compiled
+// collective plans use for their cached stream caps.
+type capCache struct {
+	net   *Network
+	path  []*Link
+	epoch int64
+	val   float64
+	valid bool
+}
+
+func (c *capCache) set(path []*Link) {
+	c.path = path
+	c.valid = false
+}
+
+func (c *capCache) value() float64 {
+	if len(c.path) == 0 {
+		return 0
+	}
+	if !c.valid || c.epoch != c.net.capEpoch {
+		min := c.path[0].capacity
+		for _, l := range c.path[1:] {
+			if l.capacity < min {
+				min = l.capacity
+			}
+		}
+		c.val = min
+		c.epoch = c.net.capEpoch
+		c.valid = true
+	}
+	return c.val
+}

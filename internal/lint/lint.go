@@ -273,7 +273,7 @@ func DefaultConfig() Config {
 				"llmbw/internal/train",
 			},
 			Options: map[string]string{
-				"types": "completionEvent,Plan,Handle,schedule,schedOp,flowSet,asyncIssue",
+				"types": "completionEvent,Plan,Handle,schedule,schedOp,flowSet,asyncIssue,handoffXfer",
 			},
 		},
 		// Only internal/runner is allowed to coordinate real goroutines;

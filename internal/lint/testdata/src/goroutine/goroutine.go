@@ -42,6 +42,59 @@ func Good(in []int) int {
 	return <-out
 }
 
+// hits is the shared state the named-launch cases fight over.
+var hits int
+
+// bump writes a package-level variable; launching it with `go` races.
+func bump() {
+	hits++ // want goroutine-shared-write
+}
+
+// BadNamedFunc launches a same-package function that mutates package state.
+func BadNamedFunc(done chan struct{}) {
+	go func() { // the closure itself is clean; bump is flagged at its body
+		bump()
+		close(done)
+	}()
+	go bump()
+	go bump() // one body, one finding: launch sites do not multiply reports
+}
+
+// worker owns its state through the receiver — the explicit hand-off idiom.
+type worker struct {
+	n   int
+	out chan int
+}
+
+// run writes only through the receiver and a channel: clean.
+func (w *worker) run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		w.n++ // receiver write: the launcher handed w off explicitly
+		w.out <- w.n
+	}
+}
+
+// leak copies receiver state into a package-level variable: flagged.
+func (w *worker) leak() {
+	hits = w.n // want goroutine-shared-write
+}
+
+// GoodNamedMethod launches a method whose writes stay inside the hand-off.
+func GoodNamedMethod(rounds int) int {
+	w := &worker{out: make(chan int)}
+	go w.run(rounds)
+	last := 0
+	for i := 0; i < rounds; i++ {
+		last = <-w.out
+	}
+	return last
+}
+
+// BadNamedMethod launches the leaking method.
+func BadNamedMethod(w *worker) {
+	go w.leak()
+}
+
 // Allowed documents an externally synchronized write.
 func Allowed(mu *sync.Mutex) {
 	x := 0

@@ -188,6 +188,43 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
+// peek returns the timestamp of the next pending event; ok is false when the
+// queue is empty.
+func (e *Engine) peek() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// runWindow executes events with timestamps strictly below bound, leaving
+// later events pending. Unlike RunUntil it never jumps the clock to the
+// bound: the clock ends at the last executed event (unchanged when none ran).
+// It is the building block of the sharded engine's conservative windows,
+// where the bound is a horizon no cross-shard influence can penetrate.
+func (e *Engine) runWindow(bound Time) {
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at >= bound {
+			return
+		}
+		ev := e.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// inject enqueues a cross-shard delivery. The sequence number comes from the
+// sharded engine's deterministic injection numbering (a band above every
+// locally assigned sequence) rather than this engine's own counter, so the
+// delivery order is a function of the injection's content, not of which
+// execution mode or interleaving produced it.
+func (e *Engine) inject(at Time, seq int64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: cross-shard injection at %v before shard clock %v (lookahead violation)", at, e.now))
+	}
+	e.push(event{at: at, seq: seq, fn: fn})
+}
+
 // Pending reports the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.events) }
 

@@ -32,10 +32,10 @@ func (c Config) cacheKey() (string, bool) {
 		placement = fmt.Sprintf("%s|%v|%v|%v",
 			c.Placement.Name, c.Placement.Drives, c.Placement.Volumes, c.Placement.RankVol)
 	}
-	return fmt.Sprintf("s%d o%d n%d m%+v tp%d pp%d b%d P{%s} i%d w%d ck%d tr%t win%d pb%t roce%g xbar%g rw%d",
+	return fmt.Sprintf("s%d o%d n%d m%+v tp%d pp%d b%d P{%s} i%d w%d ck%d tr%t win%d pb%t roce%g xbar%g rw%d sh%d",
 		c.Strategy, c.Offload, c.Nodes, c.Model, c.TensorParallel, c.PipelineParallel,
 		c.BatchPerGPU, placement, c.Iterations, c.Warmup, c.CheckpointEvery,
-		c.Trace, int64(c.Window), c.PurposeBuilt, c.RoCEBW, c.XbarBW, c.Rewrite), true
+		c.Trace, int64(c.Window), c.PurposeBuilt, c.RoCEBW, c.XbarBW, c.Rewrite, c.Shards), true
 }
 
 // RunCached executes the configuration, reusing the Result of an identical

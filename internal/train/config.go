@@ -116,7 +116,20 @@ type Config struct {
 	// values force the compiled-schedule execution path regardless of the
 	// CompiledSchedules toggle.
 	Rewrite Rewrite
+	// Shards > 1 runs the simulation on a sharded engine (sim.ShardedEngine,
+	// gated by sim.Sharded), <= 1 on the plain serial engine. A training run
+	// is one fluid fair-share domain — a single cross-node collective flow
+	// couples every node's rate allocation with zero lookahead — so the
+	// model is colocated on shard 0 (see topology.Config.Shards) and the
+	// knob's value is the A/B determinism surface, not a speedup for this
+	// workload; partitionable workloads get the speedup (see
+	// topology.NewShardedCluster).
+	Shards int
 }
+
+// MaxShards bounds Config.Shards well below sim.MaxShards; more shards than
+// nodes never helps.
+const MaxShards = 64
 
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
@@ -169,6 +182,9 @@ func (c Config) Validate() error {
 	}
 	if c.Nodes < 1 || c.Nodes > MaxNodes {
 		return fmt.Errorf("train: %d nodes outside the supported 1-%d range (the paper uses 1-2)", c.Nodes, MaxNodes)
+	}
+	if c.Shards > MaxShards {
+		return fmt.Errorf("train: %d shards above the supported maximum %d", c.Shards, MaxShards)
 	}
 	switch c.Strategy {
 	case DDP, Megatron:

@@ -135,6 +135,7 @@ func newRunner(cfg Config) (*Runner, error) {
 	}
 	topoCfg.Window = cfg.Window
 	topoCfg.RoCEBW = cfg.RoCEBW
+	topoCfg.Shards = cfg.Shards
 	if cfg.XbarBW > 0 {
 		topoCfg.XbarBW = cfg.XbarBW
 	}
@@ -252,9 +253,9 @@ func Run(cfg Config) (*Result, error) {
 			p.Sleep(slice)
 		}
 	})
-	eng.Run()
-	if eng.LiveProcs() != 0 {
-		return nil, fmt.Errorf("train: simulation deadlocked with %d live processes", eng.LiveProcs())
+	cluster.RunSim()
+	if n := cluster.SimLiveProcs(); n != 0 {
+		return nil, fmt.Errorf("train: simulation deadlocked with %d live processes", n)
 	}
 	cluster.Net.Quiesce()
 

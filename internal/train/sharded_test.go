@@ -1,0 +1,104 @@
+package train
+
+import (
+	"bytes"
+	"testing"
+
+	"llmbw/internal/collective"
+	"llmbw/internal/fabric"
+	"llmbw/internal/model"
+	"llmbw/internal/sim"
+)
+
+// runSharded runs cfg with the given shard count and sharded-execution mode,
+// returning the serialized summary (and Chrome trace when cfg.Trace is set):
+// the full observable surface the sharded engine must keep byte-identical.
+func runSharded(t *testing.T, cfg Config, shards int, parallel bool) []byte {
+	t.Helper()
+	defer func(s bool) { sim.Sharded = s }(sim.Sharded)
+	sim.Sharded = parallel
+	cfg.Shards = shards
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		if err := res.Trace.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestShardedMatchesUnsharded is the sharded-engine A/B across every
+// strategy and offload shape: a run on the plain serial engine, the same run
+// replayed through the sharded engine's serial merge loop, and the same run
+// under parallel windows must serialize identically — summary and trace.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for _, c := range irCases() {
+		cfg := c.cfg
+		cfg.Trace = true
+		plain := runSharded(t, cfg, 0, false)
+		for _, m := range []struct {
+			name     string
+			shards   int
+			parallel bool
+		}{
+			{"shards=2 serial-merge", 2, false},
+			{"shards=2 parallel", 2, true},
+			{"shards=4 parallel", 4, true},
+		} {
+			if got := runSharded(t, cfg, m.shards, m.parallel); !bytes.Equal(plain, got) {
+				t.Errorf("%s: %s output differs from the plain engine", c.name, m.name)
+			}
+		}
+	}
+}
+
+// TestShardedMatchesAcrossFastPaths crosses the sharded toggle with the full
+// existing fast-path matrix (compiled plans × batched admission × compiled
+// schedules) on the multi-node ZeRO-3 shape: sharding must be byte-identical
+// to the plain engine in every one of the 8 combinations.
+func TestShardedMatchesAcrossFastPaths(t *testing.T) {
+	cfg := Config{Strategy: ZeRO3, Model: model.NewGPT(8), Iterations: 2, Warmup: 1, Nodes: 2}
+	for _, plans := range []bool{false, true} {
+		for _, batch := range []bool{false, true} {
+			for _, ir := range []bool{false, true} {
+				func() {
+					defer func(p, b, s bool) {
+						collective.CompiledPlans, fabric.BatchAdmission, CompiledSchedules = p, b, s
+					}(collective.CompiledPlans, fabric.BatchAdmission, CompiledSchedules)
+					collective.CompiledPlans, fabric.BatchAdmission, CompiledSchedules = plans, batch, ir
+					plain := runSharded(t, cfg, 0, false)
+					sharded := runSharded(t, cfg, 4, true)
+					if !bytes.Equal(plain, sharded) {
+						t.Errorf("plans=%v batch=%v ir=%v: sharded summary differs from plain",
+							plans, batch, ir)
+					}
+				}()
+			}
+		}
+	}
+}
+
+// TestShardsValidate pins the Config.Shards range check and its presence in
+// the run-cache key (two runs differing only in Shards must not collide).
+func TestShardsValidate(t *testing.T) {
+	cfg := Config{Strategy: DDP, Model: model.NewGPT(8), Shards: MaxShards + 1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("Shards above MaxShards validated")
+	}
+	cfg.Shards = MaxShards
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Shards = MaxShards rejected: %v", err)
+	}
+	a, _ := Config{Strategy: DDP, Model: model.NewGPT(8)}.cacheKey()
+	b, _ := Config{Strategy: DDP, Model: model.NewGPT(8), Shards: 2}.cacheKey()
+	if a == b {
+		t.Error("cache key ignores Shards")
+	}
+}
