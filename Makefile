@@ -40,13 +40,17 @@ fuzz-smoke:
 ## the schedule-IR replay-vs-imperative iteration benchmark (which pins
 ## the compiled path at zero steady-state allocations) in BENCH_train.json,
 ## and the sharded-engine serial-vs-parallel steady-state scaling grid
-## (1/2/4 shards at 2/8/16 nodes) in BENCH_sim.json.
+## (1/2/4 shards at 2/8/16 nodes) in BENCH_sim.json, and the datacenter-
+## collective grid (flat vs 2-level vs multi-ring × 16/64/256 nodes ×
+## 1/4/8 shards, with allocs/op pinning the zero-alloc replay) in
+## BENCH_topo.json.
 bench:
 	$(GO) test -run '^$$' -bench 'FabricFairShare|SimEngineEvents|CollectiveAllReduce' -benchmem -json . > BENCH_fabric.json
 	$(GO) test -run '^$$' -bench 'CollectiveReplaySteady|CollectiveRebuildSteady' -benchmem -json . > BENCH_collective.json
 	$(GO) test -run '^$$' -bench 'ScheduleReplaySteady|ScheduleLegacySteady' -benchmem -json ./internal/train > BENCH_train.json
 	$(GO) test -run '^$$' -bench 'ShardedEngineSteady' -benchmem -json ./internal/sim > BENCH_sim.json
-	@grep -oh '"Output":"Benchmark[^"]*' BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
+	$(GO) test -run '^$$' -bench 'HierarchicalAllReduce' -benchmem -json ./internal/collective > BENCH_topo.json
+	@grep -oh '"Output":"Benchmark[^"]*' BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json BENCH_topo.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
 
 clean:
-	rm -f BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json
+	rm -f BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json BENCH_topo.json

@@ -56,6 +56,8 @@ func main() {
 	artifacts := flag.String("artifacts", "", "directory for machine-readable artifacts (Chrome traces, CSV series)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently; 1 runs serially")
 	shards := flag.Int("shards", 0, "simulation shards per training run; <=1 runs each simulation serially")
+	topo := flag.String("topo", "", `extra fabric spec for the datacenter studies, e.g. "fat-tree:nodes=32"`)
+	algo := flag.String("algo", "", "collective algorithm for the datacenter studies: flat | 2level | multiring")
 	flag.Parse()
 	*parallel = runner.ClampParallel(*parallel)
 	*shards = runner.ClampParallel(*shards)
@@ -90,6 +92,8 @@ func main() {
 		StressSeconds:  *stressSeconds,
 		ArtifactsDir:   *artifacts,
 		Shards:         *shards,
+		Topo:           *topo,
+		Algo:           *algo,
 	}
 
 	// Resolve the experiment list up front so an unknown id fails before any

@@ -41,9 +41,17 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON summaries instead of a table")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep points to simulate concurrently; 1 runs serially")
 	shards := flag.Int("shards", 0, "simulation shards per sweep point; <=1 runs each simulation serially")
+	topo := flag.String("topo", "", `generated fabric spec, e.g. "fat-tree:nodes=16" (default: the paper testbed)`)
+	algo := flag.String("algo", "", "collective algorithm on generated fabrics: flat | 2level | multiring")
 	flag.Parse()
 	*parallel = runner.ClampParallel(*parallel)
 	*shards = runner.ClampParallel(*shards)
+	nodesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "nodes" {
+			nodesSet = true
+		}
+	})
 
 	strat, ok := strategies[*strategy]
 	if !ok {
@@ -56,6 +64,10 @@ func main() {
 		os.Exit(2)
 	}
 	base := train.Config{Strategy: strat, Offload: off, Nodes: *nodes, Iterations: *iterations, Warmup: 1, Shards: *shards}
+	if err := applyTopo(&base, *topo, *algo, nodesSet); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
 	maxLayers := base.Profile().MaxLayers(model.DefaultBatchSize, 4)
 	if maxLayers == 0 {
 		fmt.Fprintln(os.Stderr, "sweep: configuration fits no model at all")
@@ -68,8 +80,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	// On a generated fabric the node count lives in base.Name()'s topo spec;
+	// repeating the unused -nodes default would mislead.
+	nodesLabel := fmt.Sprintf(", nodes=%d", *nodes)
+	if base.Topo != "" && !nodesSet {
+		nodesLabel = ""
+	}
 	t := report.NewTable(
-		fmt.Sprintf("Throughput vs model size — %s, offload=%s, nodes=%d", base.Name(), *offload, *nodes),
+		fmt.Sprintf("Throughput vs model size — %s, offload=%s%s", base.Name(), *offload, nodesLabel),
 		"layers", "size (B)", "iteration", "TFLOP/s")
 	// Every sweep point owns a private simulation, so points run on a worker
 	// pool; rows are assembled in order afterwards, so the rendered table is
@@ -112,6 +130,25 @@ func main() {
 	}
 	t.Render(os.Stdout)
 	fmt.Printf("maximum fit: %d layers (%.2fB params)\n", maxLayers, model.NewGPT(maxLayers).ParamsB())
+}
+
+// applyTopo points the sweep at a generated datacenter fabric. The spec's
+// node count wins unless -nodes was given explicitly (train.Config then
+// verifies the two agree); -algo without -topo is an error here rather than a
+// confusing train.Validate failure per sweep point.
+func applyTopo(base *train.Config, topo, algo string, nodesSet bool) error {
+	if topo == "" {
+		if algo != "" {
+			return fmt.Errorf("-algo requires -topo (the paper testbed has fixed collectives)")
+		}
+		return nil
+	}
+	base.Topo = topo
+	base.Algo = algo
+	if !nodesSet {
+		base.Nodes = 0 // adopt the spec's node count
+	}
+	return nil
 }
 
 // parseSizes converts the -sizes argument (comma-separated billions of

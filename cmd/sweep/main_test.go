@@ -101,3 +101,33 @@ func TestFlagLookupTablesCovered(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyTopo pins the -topo/-algo flag contract: the spec's node count
+// wins unless -nodes was explicit, and -algo alone is rejected up front.
+func TestApplyTopo(t *testing.T) {
+	base := train.Config{Strategy: train.ZeRO3, Nodes: 1}
+	if err := applyTopo(&base, "fat-tree:nodes=16", "2level", false); err != nil {
+		t.Fatal(err)
+	}
+	if base.Nodes != 0 || base.Topo != "fat-tree:nodes=16" || base.Algo != "2level" {
+		t.Errorf("applyTopo left %+v", base)
+	}
+	base.Model = model.NewGPT(8)
+	base.Iterations = 1
+	if err := base.Validate(); err != nil {
+		t.Errorf("topo sweep base config rejected: %v", err)
+	}
+
+	explicit := train.Config{Strategy: train.ZeRO3, Nodes: 16}
+	if err := applyTopo(&explicit, "fat-tree:nodes=16", "", true); err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Nodes != 16 {
+		t.Errorf("explicit -nodes overwritten to %d", explicit.Nodes)
+	}
+
+	plain := train.Config{Strategy: train.DDP, Nodes: 1}
+	if err := applyTopo(&plain, "", "2level", false); err == nil {
+		t.Error("-algo without -topo accepted")
+	}
+}

@@ -1,15 +1,21 @@
-// Command topoview dumps the simulated cluster topology: every link with its
-// class and capacity, theoretical per-class aggregates, and example routes
-// with their I/O-die crossbar crossings.
+// Command topoview dumps a simulated fabric: every link with its class and
+// capacity, theoretical per-class aggregates, and example routes.
+//
+// By default it renders the paper's testbed cluster; -topo switches to a
+// generated datacenter fabric (fat-tree, rail-only, dragonfly) described by
+// the same spec strings the trainer accepts.
 //
 // Usage:
 //
 //	topoview [-nodes 2]
+//	topoview -topo fat-tree:nodes=16
+//	topoview -topo rail-only:nodes=64,rails=4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"llmbw/internal/core"
@@ -17,27 +23,112 @@ import (
 	"llmbw/internal/topology"
 )
 
+// renderPaper dumps the testbed cluster — the original topoview output.
+func renderPaper(w io.Writer, nodes int) error {
+	if nodes < 1 || nodes > 2 {
+		return fmt.Errorf("-nodes must be 1 or 2")
+	}
+	c := topology.New(topology.DefaultConfig(nodes))
+	fmt.Fprintf(w, "Simulated cluster: %d × Dell PowerEdge XE8545\n\n", nodes)
+	fmt.Fprintln(w, "Links:")
+	for _, l := range c.Links() {
+		fmt.Fprintf(w, "  %-22s %-9s %7.1f GB/s\n", l.Name, l.Class, l.Capacity()/1e9)
+	}
+	fmt.Fprintln(w, "\nPer-node theoretical aggregates:")
+	for _, class := range fabric.MeasuredClasses() {
+		fmt.Fprintf(w, "  %-10s %7.1f GB/s\n", class, c.TheoreticalClassBW(class)/1e9)
+	}
+	fmt.Fprintln(w)
+	return core.Fig2(w, core.Options{})
+}
+
+// renderDC dumps a generated datacenter fabric: shape, per-class link
+// inventory, one node's endpoint links, the trunk links, and the route
+// decomposition of a same-pod and a cross-pod hop.
+func renderDC(w io.Writer, spec string) error {
+	cfg, err := topology.ParseTopoSpec(spec)
+	if err != nil {
+		return err
+	}
+	sc, err := topology.NewDCSharded(cfg, 1)
+	if err != nil {
+		return err
+	}
+	defer sc.Eng.Close()
+	fmt.Fprintf(w, "Generated fabric: %s\n", cfg.Spec())
+	fmt.Fprintf(w, "  nodes %d  pods %v  rails %d  switch ports %d\n\n",
+		cfg.Nodes, cfg.Seams(), cfg.Rails, cfg.SwitchPorts())
+
+	links := sc.Groups[0].Links()
+	count := map[fabric.Class]int{}
+	capacity := map[fabric.Class]float64{}
+	for _, l := range links {
+		count[l.Class]++
+		capacity[l.Class] += l.Capacity()
+	}
+	fmt.Fprintln(w, "Link inventory:")
+	for _, class := range []fabric.Class{fabric.NVLink, fabric.RoCE, fabric.Uplink} {
+		fmt.Fprintf(w, "  %-9s %4d links %9.1f GB/s aggregate\n",
+			class, count[class], capacity[class]/1e9)
+	}
+
+	fmt.Fprintln(w, "\nNode 0 endpoints:")
+	fmt.Fprintf(w, "  %-22s %-9s %7.1f GB/s\n",
+		sc.NVFabric(0).Name, sc.NVFabric(0).Class, sc.NVFabric(0).Capacity()/1e9)
+	g, _ := sc.GroupOf(0)
+	for r := 0; r < cfg.Rails; r++ {
+		l := g.NICLink(0, r)
+		fmt.Fprintf(w, "  %-22s %-9s %7.1f GB/s\n", l.Name, l.Class, l.Capacity()/1e9)
+	}
+
+	fmt.Fprintln(w, "\nTrunks:")
+	trunks := 0
+	for _, l := range links {
+		if l.Class == fabric.Uplink {
+			fmt.Fprintf(w, "  %-22s %-9s %7.1f GB/s\n", l.Name, l.Class, l.Capacity()/1e9)
+			trunks++
+		}
+	}
+	if trunks == 0 {
+		fmt.Fprintln(w, "  (none — rail-local fabric)")
+	}
+
+	fmt.Fprintln(w, "\nExample routes (rail 0):")
+	printRoute := func(from, to int) {
+		src, dst, extra := sc.RailPath(from, to, 0)
+		fmt.Fprintf(w, "  dc%d -> dc%d:", from, to)
+		for _, l := range src {
+			fmt.Fprintf(w, " %s", l.Name)
+		}
+		fmt.Fprint(w, " | handoff |")
+		for _, l := range dst {
+			fmt.Fprintf(w, " %s", l.Name)
+		}
+		fmt.Fprintf(w, "  (+%v tier latency)\n", extra)
+	}
+	if cfg.Nodes > 1 {
+		printRoute(0, 1)
+	}
+	if cfg.Nodes > cfg.PodSize {
+		printRoute(0, cfg.Nodes-1)
+	}
+	return nil
+}
+
+func run(w io.Writer, nodes int, topoSpec string) error {
+	if topoSpec == "" || topoSpec == topology.PaperTopo {
+		return renderPaper(w, nodes)
+	}
+	return renderDC(w, topoSpec)
+}
+
 func main() {
-	nodes := flag.Int("nodes", 2, "number of compute nodes (1 or 2)")
+	nodes := flag.Int("nodes", 2, "number of compute nodes for the paper testbed (1 or 2)")
+	topo := flag.String("topo", "", `generated fabric spec, e.g. "fat-tree:nodes=16" (default: the paper testbed)`)
 	flag.Parse()
 
-	if *nodes < 1 || *nodes > 2 {
-		fmt.Fprintln(os.Stderr, "topoview: -nodes must be 1 or 2")
-		os.Exit(2)
-	}
-	c := topology.New(topology.DefaultConfig(*nodes))
-	fmt.Printf("Simulated cluster: %d × Dell PowerEdge XE8545\n\n", *nodes)
-	fmt.Println("Links:")
-	for _, l := range c.Links() {
-		fmt.Printf("  %-22s %-9s %7.1f GB/s\n", l.Name, l.Class, l.Capacity()/1e9)
-	}
-	fmt.Println("\nPer-node theoretical aggregates:")
-	for _, class := range fabric.MeasuredClasses() {
-		fmt.Printf("  %-10s %7.1f GB/s\n", class, c.TheoreticalClassBW(class)/1e9)
-	}
-	fmt.Println()
-	if err := core.Fig2(os.Stdout, core.Options{}); err != nil {
+	if err := run(os.Stdout, *nodes, *topo); err != nil {
 		fmt.Fprintln(os.Stderr, "topoview:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 }

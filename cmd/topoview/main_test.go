@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// TestTopoviewGolden pins the rendered output for the paper testbed and one
+// spec per generated fabric family; regenerate intentionally with
+// `go test ./cmd/topoview -update-golden`.
+func TestTopoviewGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes int
+		topo  string
+	}{
+		{"paper", 2, ""},
+		{"fat-tree", 0, "fat-tree:nodes=8"},
+		{"rail-only", 0, "rail-only:nodes=8,rails=2"},
+		{"dragonfly", 0, "dragonfly:nodes=8"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, tc.nodes, tc.topo); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+					tc.name, buf.String(), want)
+			}
+		})
+	}
+}
+
+// TestTopoviewErrors: bad inputs fail before rendering anything.
+func TestTopoviewErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, ""); err == nil {
+		t.Error("nodes=3 accepted for the paper testbed")
+	}
+	if err := run(&buf, 2, "mesh:nodes=4"); err == nil {
+		t.Error("unknown fabric kind accepted")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("error paths wrote output: %q", buf.String())
+	}
+}

@@ -243,6 +243,7 @@ type Handle struct {
 	done    bool
 	firing  bool // Fire is mid-iteration; defer any Release until it ends
 	release bool // Release was requested during Fire
+	pooled  bool // currently sitting in the owner's free list
 	waiters []func()
 	eng     *sim.Engine
 	owner   *Group // pool to Release into; nil for unpooled handles
@@ -265,18 +266,22 @@ func (g *Group) NewHandle() *Handle {
 		h := g.hPool[k-1]
 		g.hPool[k-1] = nil
 		g.hPool = g.hPool[:k-1]
+		h.pooled = false
 		return h
 	}
 	return &Handle{eng: g.cluster.Eng, owner: g}
 }
 
 // Release returns a pooled handle to its owning group for reuse. Only the
-// code that obtained the handle from NewHandle may call it, exactly once,
-// after every waiter has run and no other reference remains. Calling it from
-// inside one of the handle's own Fire callbacks is allowed: the return to the
-// pool is deferred until Fire finishes. No-op for unpooled handles.
+// code that obtained the handle from NewHandle may call it, after every
+// waiter has run and no other reference remains. Calling it from inside one
+// of the handle's own Fire callbacks is allowed: the return to the pool is
+// deferred until Fire finishes. Release is idempotent — a second call on an
+// already-released handle is a no-op rather than a double insertion that
+// would hand the same handle to two NewHandle callers. No-op for unpooled
+// handles.
 func (h *Handle) Release() {
-	if h.owner == nil {
+	if h.owner == nil || h.pooled {
 		return
 	}
 	if h.firing {
@@ -288,6 +293,7 @@ func (h *Handle) Release() {
 
 func (h *Handle) recycle() {
 	h.done = false
+	h.pooled = true
 	h.waiters = h.waiters[:0]
 	h.owner.hPool = append(h.owner.hPool, h)
 }

@@ -64,6 +64,12 @@ type Options struct {
 	// engine with that many shards, <= 1 the plain serial one (see
 	// train.Config.Shards).
 	Shards int
+	// Topo, when set, adds a custom generated fabric (a topology.ParseTopoSpec
+	// spec such as "fat-tree:nodes=32") to the datacenter-fabric extension
+	// studies; Algo picks their collective algorithm (flat | 2level |
+	// multiring, default 2level). The testbed reproductions ignore both.
+	Topo string
+	Algo string
 }
 
 func (o Options) withDefaults() Options {

@@ -108,5 +108,8 @@ func Extensions() []Experiment {
 			return whatif.ScalingReport(w)
 		}},
 		{"ext-energy", "Extension: energy and cost per framework", energyReport},
+		{"ext-railonly", "What-if: rail-only vs fat-tree datacenter fabrics", func(w io.Writer, opt Options) error {
+			return whatif.RailOnlyReport(w, opt.Algo, opt.Shards, opt.Topo)
+		}},
 	}
 }

@@ -44,6 +44,8 @@ type handoffXfer struct {
 	h       *Handoff
 	srcFlow Flow
 	dstFlow Flow
+	extra   sim.Time // added to the wire latency (deeper routes); never negative
+	dstCap  *PathCap // per-send receiver cap, evaluated at land; nil = handoff cap
 	onDone  func()
 	hop     func()
 	land    func()
@@ -96,12 +98,32 @@ func (h *Handoff) SetDstCapPath(path []*Link) { h.dstCap.set(path) }
 // called from source-shard execution context, and the path slices must not
 // be mutated until the transfer completes.
 func (h *Handoff) Send(name string, bytes float64, srcPath, dstPath []*Link, onDone func()) {
+	h.SendPlanned(name, bytes, 0, nil, nil, srcPath, dstPath, onDone)
+}
+
+// SendPlanned is Send for compiled (hierarchical) collective legs: extra adds
+// route-dependent latency on top of the wire hop (deeper switching tiers —
+// the total still respects the lookahead because extra is never negative),
+// and srcCap/dstCap override the handoff-level rate caps per send. The caps
+// are capacity-epoch-fenced PathCaps: srcCap is evaluated here (source-shard
+// context), dstCap at land time (destination-shard context), so neither shard
+// reads the other's network state.
+func (h *Handoff) SendPlanned(name string, bytes float64, extra sim.Time, srcCap, dstCap *PathCap, srcPath, dstPath []*Link, onDone func()) {
+	if extra < 0 {
+		panic(fmt.Sprintf("fabric: negative handoff extra latency %v", extra))
+	}
 	x := h.acquire()
 	x.onDone = onDone
+	x.extra = extra
+	x.dstCap = dstCap
 	x.srcFlow.Name = name
 	x.srcFlow.Path = srcPath
 	x.srcFlow.Bytes = bytes
-	x.srcFlow.RateLimit = h.srcCap.value()
+	if srcCap != nil {
+		x.srcFlow.RateLimit = srcCap.Value()
+	} else {
+		x.srcFlow.RateLimit = h.srcCap.value()
+	}
 	x.dstFlow.Name = name
 	x.dstFlow.Path = dstPath
 	x.dstFlow.Bytes = bytes
@@ -121,13 +143,17 @@ func (h *Handoff) acquire() *handoffXfer {
 	x := &handoffXfer{h: h}
 	x.hop = func() {
 		if x.h.se != nil {
-			x.h.se.Inject(x.h.from, x.h.to, x.h.latency, x.land)
+			x.h.se.Inject(x.h.from, x.h.to, x.h.latency+x.extra, x.land)
 		} else {
-			x.h.dst.eng.Schedule(x.h.latency, x.land)
+			x.h.dst.eng.Schedule(x.h.latency+x.extra, x.land)
 		}
 	}
 	x.land = func() {
-		x.dstFlow.RateLimit = x.h.dstCap.value()
+		if x.dstCap != nil {
+			x.dstFlow.RateLimit = x.dstCap.Value()
+		} else {
+			x.dstFlow.RateLimit = x.h.dstCap.value()
+		}
 		x.h.dst.StartFlow(&x.dstFlow, x.finish)
 	}
 	x.finish = func() {
@@ -146,10 +172,43 @@ func (h *Handoff) acquire() *handoffXfer {
 func (h *Handoff) recycle(x *handoffXfer) {
 	x.srcFlow.Path = nil
 	x.dstFlow.Path = nil
+	x.extra = 0
+	x.dstCap = nil
 	h.mu.Lock()
 	h.free = append(h.free, x)
 	h.mu.Unlock()
 }
+
+// PoolSize reports the current free-list length — the churn tests' probe
+// that steady-state traffic reuses records instead of growing the pool.
+func (h *Handoff) PoolSize() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.free)
+}
+
+// PathCap is the exported form of the capacity-epoch-fenced minimum-capacity
+// cache: scale × min(capacity along path), recomputed only when the owning
+// network's capacity epoch moves. Hierarchical collective plans hold one per
+// cross leg so replay picks up mid-run SetCapacity without recomputing route
+// minima on every send. Value must be called from the owning network's shard
+// context.
+type PathCap struct {
+	scale float64
+	cache capCache
+}
+
+// NewPathCap builds a cap over path on n. A zero scale or empty path yields
+// Value() == 0, which flow admission treats as "unlimited".
+func NewPathCap(n *Network, scale float64, path []*Link) *PathCap {
+	p := &PathCap{scale: scale}
+	p.cache.net = n
+	p.cache.set(path)
+	return p
+}
+
+// Value returns the current cap in bytes/s (0 = unlimited).
+func (p *PathCap) Value() float64 { return p.scale * p.cache.value() }
 
 // capCache memoizes the minimum capacity along a path, fenced by the owning
 // network's capacity epoch — the same revalidation discipline compiled

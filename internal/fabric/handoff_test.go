@@ -211,3 +211,76 @@ func TestHandoffSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state handoff round allocates %.1f times per slice, want 0", allocs)
 	}
 }
+
+// TestHandoffPoolChurnUnderCapEpochBumps exercises the pool with a
+// ping-pong stream of planned sends while both sides' capacities are bumped
+// mid-collective: per-send PathCaps must re-evaluate against the new
+// capacity epoch on their own shard, the transfer records must recycle
+// rather than grow the pool, and the steady state — epoch bumps included —
+// must allocate nothing.
+func TestHandoffPoolChurnUnderCapEpochBumps(t *testing.T) {
+	r := newHandoffRig(2)
+	defer r.se.Close()
+	path0 := []*Link{r.links[0]}
+	path1 := []*Link{r.links[1]}
+	cap0 := NewPathCap(r.nets[0], 0.5, path0)
+	cap1 := NewPathCap(r.nets[1], 0.5, path1)
+
+	count := 0
+	budget := 0
+	var fwdSend, revSend func()
+	fwdSend = func() {
+		r.fwd.SendPlanned("ping", 1e8, 0, cap0, cap1, path0, path1, revSend)
+	}
+	revSend = func() {
+		count++
+		if count < budget {
+			r.rev.SendPlanned("pong", 1e8, 0, cap1, cap0, path1, path0, fwdSend)
+		}
+	}
+	// Capacity bumps from each side's own shard, landing mid-stream. The
+	// toggle returns to the original capacity so every iteration of the
+	// steady-state alloc probe sees the same fabric.
+	var narrow [2]bool
+	narrow[0], narrow[1] = true, true
+	bump := func(side int) func() {
+		return func() {
+			if narrow[side] {
+				r.nets[side].SetCapacity(r.links[side], 5e9)
+			} else {
+				r.nets[side].SetCapacity(r.links[side], 10e9)
+			}
+			narrow[side] = !narrow[side]
+		}
+	}
+	bump0, bump1 := bump(0), bump(1)
+	iterate := func() {
+		budget = count + 20
+		r.se.Shard(0).Schedule(0, fwdSend)
+		r.se.Shard(0).Schedule(100*sim.Microsecond, bump0)
+		r.se.Shard(1).Schedule(150*sim.Microsecond, bump1)
+		r.se.Shard(0).Schedule(300*sim.Microsecond, bump0)
+		r.se.Shard(1).Schedule(350*sim.Microsecond, bump1)
+		r.se.Run()
+	}
+	iterate()
+	if count != 20 {
+		t.Fatalf("completed %d transfers, want 20", count)
+	}
+	if e := r.nets[0].CapacityEpoch(); e < 2 {
+		t.Fatalf("src capacity epoch = %d, want >= 2", e)
+	}
+	if got := r.fwd.PoolSize(); got != 1 {
+		t.Errorf("fwd pool holds %d records after churn, want 1 (recycled, not grown)", got)
+	}
+	if got := r.rev.PoolSize(); got != 1 {
+		t.Errorf("rev pool holds %d records after churn, want 1", got)
+	}
+	iterate() // warm any remaining slice growth before pinning allocs
+	if avg := testing.AllocsPerRun(20, iterate); avg != 0 {
+		t.Errorf("steady-state churn with epoch bumps allocates %v allocs/run, want 0", avg)
+	}
+	if got := r.fwd.PoolSize(); got != 1 {
+		t.Errorf("fwd pool grew to %d records across alloc probe", got)
+	}
+}

@@ -37,12 +37,14 @@ const (
 	CPUCore // CPU optimizer-compute throughput, expressed as bytes/s
 	GPUCore // GPU compute throughput, expressed as FLOP/s
 	Virtual // per-flow caps and other bookkeeping resources
+	Uplink  // datacenter fabric trunk: fat-tree pod uplinks, dragonfly globals
 )
 
 var classNames = map[Class]string{
 	DRAM: "DRAM", XGMI: "xGMI", PCIeGPU: "PCIe-GPU", PCIeNVME: "PCIe-NVME",
 	PCIeNIC: "PCIe-NIC", NVLink: "NVLink", RoCE: "RoCE", IODXbar: "IOD-Xbar",
 	NVMeDev: "NVMe-Dev", CPUCore: "CPU-Core", GPUCore: "GPU-Core", Virtual: "Virtual",
+	Uplink: "Uplink",
 }
 
 // String returns the class name used in reports.

@@ -254,6 +254,7 @@ func DefaultConfig() Config {
 			"llmbw/internal/report", "llmbw/internal/train",
 			"llmbw/internal/trace", "llmbw/internal/telemetry",
 			"llmbw/internal/whatif", "llmbw/internal/stress",
+			"llmbw/internal/topology", "llmbw/internal/collective",
 			"llmbw/cmd/...",
 		}},
 		// Exact float equality is only meaningful against constants; two

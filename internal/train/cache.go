@@ -3,6 +3,9 @@ package train
 import (
 	"fmt"
 	"sync"
+
+	"llmbw/internal/collective"
+	"llmbw/internal/topology"
 )
 
 // The experiment suite replays many identical training configurations — the
@@ -32,10 +35,26 @@ func (c Config) cacheKey() (string, bool) {
 		placement = fmt.Sprintf("%s|%v|%v|%v",
 			c.Placement.Name, c.Placement.Drives, c.Placement.Volumes, c.Placement.RankVol)
 	}
-	return fmt.Sprintf("s%d o%d n%d m%+v tp%d pp%d b%d P{%s} i%d w%d ck%d tr%t win%d pb%t roce%g xbar%g rw%d sh%d",
+	// Topo is keyed canonically and Algo post-toggle, so "ft:nodes=64" and
+	// "fat-tree:nodes=64" share an entry while flipping
+	// collective.Hierarchical never serves a stale twin.
+	topo, algo := "-", "-"
+	if c.IsDC() {
+		dc, err := topology.ParseTopoSpec(c.Topo)
+		if err != nil {
+			return "", false
+		}
+		topo = dc.Spec()
+		a, err := collective.ParseAlgo(c.Algo)
+		if err != nil {
+			return "", false
+		}
+		algo = collective.EffectiveAlgo(a).String()
+	}
+	return fmt.Sprintf("s%d o%d n%d m%+v tp%d pp%d b%d P{%s} i%d w%d ck%d tr%t win%d pb%t roce%g xbar%g rw%d sh%d topo{%s} algo{%s}",
 		c.Strategy, c.Offload, c.Nodes, c.Model, c.TensorParallel, c.PipelineParallel,
 		c.BatchPerGPU, placement, c.Iterations, c.Warmup, c.CheckpointEvery,
-		c.Trace, int64(c.Window), c.PurposeBuilt, c.RoCEBW, c.XbarBW, c.Rewrite, c.Shards), true
+		c.Trace, int64(c.Window), c.PurposeBuilt, c.RoCEBW, c.XbarBW, c.Rewrite, c.Shards, topo, algo), true
 }
 
 // RunCached executes the configuration, reusing the Result of an identical

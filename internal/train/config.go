@@ -15,6 +15,7 @@ package train
 import (
 	"fmt"
 
+	"llmbw/internal/collective"
 	"llmbw/internal/memory"
 	"llmbw/internal/model"
 	"llmbw/internal/nvme"
@@ -117,15 +118,31 @@ type Config struct {
 	// CompiledSchedules toggle.
 	Rewrite Rewrite
 	// Shards > 1 runs the simulation on a sharded engine (sim.ShardedEngine,
-	// gated by sim.Sharded), <= 1 on the plain serial engine. A training run
-	// is one fluid fair-share domain — a single cross-node collective flow
-	// couples every node's rate allocation with zero lookahead — so the
-	// model is colocated on shard 0 (see topology.Config.Shards) and the
-	// knob's value is the A/B determinism surface, not a speedup for this
-	// workload; partitionable workloads get the speedup (see
-	// topology.NewShardedCluster).
+	// gated by sim.Sharded), <= 1 on the plain serial engine. On the testbed
+	// topology a training run is one fluid fair-share domain — a single
+	// cross-node collective flow couples every node's rate allocation with
+	// zero lookahead — so the model is colocated on shard 0 (see
+	// topology.Config.Shards) and the knob's value is the A/B determinism
+	// surface, not a speedup for that workload. On a generated datacenter
+	// fabric (Topo below) with a hierarchical Algo, the cross-node legs are
+	// store-and-forward handoffs, the cluster shards along its pod seams,
+	// and -shards genuinely parallelizes the run.
 	Shards int
+	// Topo selects the fabric: empty or topology.PaperTopo runs the paper's
+	// two-node XE8545 testbed; a topology.ParseTopoSpec string (e.g.
+	// "fat-tree:nodes=64" or "rail-only:nodes=64,rails=4") runs the
+	// datacenter-scale model. Nodes defaults to the spec's node count and
+	// must match it when set.
+	Topo string
+	// Algo selects the datacenter collective algorithm ("flat", "2level",
+	// "multiring"; see collective.ParseAlgo). Defaults to "2level" on
+	// datacenter fabrics; only valid there.
+	Algo string
 }
+
+// IsDC reports whether the run targets a generated datacenter fabric rather
+// than the paper's testbed.
+func (c Config) IsDC() bool { return c.Topo != "" && c.Topo != topology.PaperTopo }
 
 // MaxShards bounds Config.Shards well below sim.MaxShards; more shards than
 // nodes never helps.
@@ -142,12 +159,20 @@ func (c Config) withDefaults() Config {
 	if c.Warmup == 0 {
 		c.Warmup = 2
 	}
+	if c.IsDC() && c.Nodes == 0 {
+		if dc, err := topology.ParseTopoSpec(c.Topo); err == nil {
+			c.Nodes = dc.Nodes
+		}
+	}
 	if c.Nodes == 0 {
 		c.Nodes = 1
 	}
 	if c.Placement == nil && c.needsNVMe() {
 		p := nvme.ConfigB()
 		c.Placement = &p
+	}
+	if c.IsDC() && c.Algo == "" {
+		c.Algo = collective.AlgoTwoLevel.String()
 	}
 	return c
 }
@@ -179,6 +204,12 @@ func (c Config) Validate() error {
 	c = c.withDefaults()
 	if err := c.Model.Validate(); err != nil {
 		return err
+	}
+	if c.IsDC() {
+		return c.validateDC()
+	}
+	if c.Algo != "" {
+		return fmt.Errorf("train: Algo %q applies only to generated -topo fabrics", c.Algo)
 	}
 	if c.Nodes < 1 || c.Nodes > MaxNodes {
 		return fmt.Errorf("train: %d nodes outside the supported 1-%d range (the paper uses 1-2)", c.Nodes, MaxNodes)
@@ -224,6 +255,57 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// validateDC checks a datacenter-fabric configuration. The DC model covers
+// the data-parallel strategies (DDP and the ZeRO stages without offload) on
+// purpose-built nodes; the testbed-specific machinery — NVMe offload,
+// Megatron TP/PP wiring, fault hooks, trace capture, bandwidth what-if
+// overrides — stays on the paper topology.
+func (c Config) validateDC() error {
+	dc, err := topology.ParseTopoSpec(c.Topo)
+	if err != nil {
+		return err
+	}
+	if _, err := collective.ParseAlgo(c.Algo); err != nil {
+		return err
+	}
+	if c.Nodes != dc.Nodes {
+		return fmt.Errorf("train: %d nodes conflicts with topo spec %q (%d nodes)", c.Nodes, c.Topo, dc.Nodes)
+	}
+	if c.Shards > MaxShards {
+		return fmt.Errorf("train: %d shards above the supported maximum %d", c.Shards, MaxShards)
+	}
+	switch c.Strategy {
+	case DDP, ZeRO1, ZeRO2, ZeRO3:
+	default:
+		return fmt.Errorf("train: %v is not supported on generated fabrics (data-parallel strategies only)", c.Strategy)
+	}
+	if c.Offload != memory.NoOffload || c.Placement != nil {
+		return fmt.Errorf("train: offload is not modelled on generated fabrics")
+	}
+	if c.TensorParallel != 0 || c.PipelineParallel != 0 {
+		return fmt.Errorf("train: TP/PP degrees are not modelled on generated fabrics")
+	}
+	if c.CheckpointEvery > 0 {
+		return fmt.Errorf("train: checkpointing is not modelled on generated fabrics")
+	}
+	if c.Trace {
+		return fmt.Errorf("train: trace capture is not supported on generated fabrics")
+	}
+	if c.PurposeBuilt {
+		return fmt.Errorf("train: PurposeBuilt selects a testbed variant; generated fabrics are already purpose-built")
+	}
+	if c.FaultInjection != nil {
+		return fmt.Errorf("train: fault injection hooks take a testbed cluster")
+	}
+	if c.RoCEBW != 0 || c.XbarBW != 0 {
+		return fmt.Errorf("train: RoCEBW/XbarBW overrides apply only to the testbed topology")
+	}
+	if c.Rewrite != 0 {
+		return fmt.Errorf("train: schedule rewrites apply only to the testbed topology")
+	}
+	return nil
+}
+
 // Name returns a display label matching the paper's configuration names.
 func (c Config) Name() string {
 	c = c.withDefaults()
@@ -238,6 +320,20 @@ func (c Config) Name() string {
 		label += fmt.Sprintf(" (%d×NVMe opt)", len(c.Placement.Drives))
 	case memory.NVMeOptimizerAndParams:
 		label += fmt.Sprintf(" (%d×NVMe opt+param)", len(c.Placement.Drives))
+	}
+	if c.IsDC() {
+		// The algorithm label reflects what actually runs: with the
+		// Hierarchical toggle off, every algorithm degrades to the flat twin
+		// and the run is byte-identical to an explicit -algo=flat run.
+		algo := c.Algo
+		if parsed, err := collective.ParseAlgo(c.Algo); err == nil {
+			algo = collective.EffectiveAlgo(parsed).String()
+		}
+		if dc, err := topology.ParseTopoSpec(c.Topo); err == nil {
+			label += fmt.Sprintf(" @%s/%s", dc.Spec(), algo)
+		} else {
+			label += fmt.Sprintf(" @%s/%s", c.Topo, algo)
+		}
 	}
 	return label
 }

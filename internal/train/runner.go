@@ -180,8 +180,13 @@ func newRunner(cfg Config) (*Runner, error) {
 	return r, nil
 }
 
-// Run executes the configuration and returns measurements.
+// Run executes the configuration and returns measurements. Generated
+// datacenter fabrics (Config.Topo) run through the scale model in dc.go;
+// everything else is the paper's testbed.
 func Run(cfg Config) (*Result, error) {
+	if cfg.IsDC() {
+		return runDC(cfg)
+	}
 	r, err := newRunner(cfg)
 	if err != nil {
 		return nil, err

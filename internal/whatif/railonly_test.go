@@ -1,0 +1,41 @@
+package whatif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"llmbw/internal/train"
+)
+
+// TestRailOnlyStudyShardInvariant: the fabric comparison must not depend on
+// the simulation shard count — the report is golden-pinned in core, and the
+// -shards knob must never move its bytes.
+func TestRailOnlyStudyShardInvariant(t *testing.T) {
+	render := func(shards int) string {
+		var buf bytes.Buffer
+		if err := RailOnlyReport(&buf, "multiring", shards, ""); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render(1), render(4); a != b {
+		t.Errorf("report differs between 1 and 4 shards:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRailOnlyStudyErrors(t *testing.T) {
+	if _, err := RailOnlyStudy([]string{"mesh:nodes=4"}, []train.Strategy{train.DDP}, "2level", 1); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if _, err := RailOnlyStudy([]string{"rail-only:nodes=4"}, []train.Strategy{train.DDP}, "bisect", 1); err == nil {
+		t.Error("bad algo accepted")
+	}
+	var buf bytes.Buffer
+	if err := RailOnlyReport(&buf, "", 1, "rail-only:nodes=8,rails=2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rail-only:nodes=8,pod=4,rails=2") {
+		t.Error("extra -topo spec missing from the report")
+	}
+}
