@@ -2,7 +2,7 @@ GO ?= go
 # FUZZTIME bounds each fuzz target in fuzz-smoke; CI's nightly job raises it.
 FUZZTIME ?= 10s
 
-.PHONY: check test build vet lint race fuzz-smoke bench clean
+.PHONY: check test build vet lint lint-baseline lint-report race fuzz-smoke bench clean
 
 ## check: the full correctness gate — vet, build, the simlint determinism &
 ## invariant analysis, the race-enabled test suite, and a short fuzz smoke of
@@ -15,9 +15,21 @@ build:
 vet:
 	$(GO) vet ./...
 
-## lint: run the repository's static determinism/invariant analysis.
+## lint: run the repository's static determinism/invariant analysis
+## (includes the inter-procedural handle-release / capepoch-guard /
+## steady-alloc / lookahead-positive rules).
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+## lint-baseline: fail on any drift from the committed lint.baseline.json —
+## new findings AND stale pinned entries both count as drift.
+lint-baseline:
+	$(GO) run ./cmd/simlint -baseline lint.baseline.json ./...
+
+## lint-report: write the machine-readable findings report CI archives next
+## to the benchmark JSON. Never fails on findings — lint-baseline gates.
+lint-report:
+	$(GO) run ./cmd/simlint -json ./... > SIMLINT.json || true
 
 test:
 	$(GO) test ./...
@@ -53,4 +65,4 @@ bench:
 	@grep -oh '"Output":"Benchmark[^"]*' BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json BENCH_topo.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
 
 clean:
-	rm -f BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json BENCH_topo.json
+	rm -f BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json BENCH_topo.json SIMLINT.json

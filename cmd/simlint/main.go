@@ -3,28 +3,64 @@
 //
 // Usage:
 //
-//	simlint [-v] [-list] [packages...]
+//	simlint [-v] [-list] [-json] [-baseline file] [-write-baseline] [packages...]
 //
 // Packages default to ./... (the whole module). Findings print as
 // "file:line: [rule] message" and any finding makes the exit status 1;
 // loader or usage errors exit 2. Deliberate violations are silenced in
 // place with a "//lint:allow <rule> — reason" comment on the offending or
 // preceding line.
+//
+// -json emits the findings as a machine-readable report on stdout instead
+// of the text lines; CI archives that report next to the benchmark JSON.
+//
+// -baseline compares the run against a committed report (the output of a
+// previous -json run). With a baseline the exit status tracks *drift*, not
+// raw findings: the run fails when a finding is not in the baseline or a
+// baseline entry no longer fires, so a deliberately accepted debt list
+// stays pinned. Matching ignores line numbers — moving code around is not
+// drift; new or vanished findings are. -write-baseline rewrites the
+// baseline file from the current run instead of comparing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"llmbw/internal/lint"
 )
 
+// report is the JSON shape emitted by -json and stored as the baseline.
+type report struct {
+	Version  int            `json:"version"`
+	Findings []jsonFinding  `json:"findings"`
+	Rules    map[string]int `json:"rules,omitempty"` // per-rule finding counts
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// key identifies a finding for baseline matching: file, rule and message,
+// but not line — shifting code around a pinned finding is not drift.
+func (f jsonFinding) key() string {
+	return f.File + "\x00" + f.Rule + "\x00" + f.Message
+}
+
 func main() {
 	verbose := flag.Bool("v", false, "also report per-package type-check diagnostics and suppression counts")
 	list := flag.Bool("list", false, "list registered rules and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON report on stdout")
+	baseline := flag.String("baseline", "", "compare findings against this committed JSON report; exit status tracks drift")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file from this run instead of comparing")
 	flag.Parse()
 
 	if *list {
@@ -32,6 +68,9 @@ func main() {
 			fmt.Printf("%-24s %s\n", r.Name(), r.Doc())
 		}
 		return
+	}
+	if *writeBaseline && *baseline == "" {
+		fail(fmt.Errorf("-write-baseline needs -baseline <file>"))
 	}
 
 	root, err := findModuleRoot()
@@ -56,17 +95,112 @@ func main() {
 	}
 
 	findings := lint.Run(lint.DefaultConfig(), lint.AllRules(), pkgs)
+	rep := report{Version: 1, Findings: []jsonFinding{}}
 	for _, f := range findings {
-		f.Pos.Filename = relativize(root, f.Pos.Filename)
-		fmt.Println(f)
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:    filepath.ToSlash(relativize(root, f.Pos.Filename)),
+			Line:    f.Pos.Line,
+			Rule:    f.Rule,
+			Message: f.Message,
+		})
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+	if len(rep.Findings) > 0 {
+		rep.Rules = map[string]int{}
+		for _, f := range rep.Findings {
+			rep.Rules[f.Rule]++
+		}
 	}
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "simlint: %d package(s) clean\n", len(pkgs))
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Printf("%s:%d: [%s] %s\n", f.File, f.Line, f.Rule, f.Message)
+		}
 	}
+
+	switch {
+	case *writeBaseline:
+		if err := writeReport(*baseline, rep); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: baseline %s rewritten with %d finding(s)\n", *baseline, len(rep.Findings))
+	case *baseline != "":
+		drift, err := compareBaseline(*baseline, rep)
+		if err != nil {
+			fail(err)
+		}
+		if len(drift) > 0 {
+			for _, d := range drift {
+				fmt.Fprintln(os.Stderr, "simlint:", d)
+			}
+			fmt.Fprintf(os.Stderr, "simlint: %d drift(s) from baseline %s — fix the findings, or rerun with -write-baseline to accept\n",
+				len(drift), *baseline)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "simlint: no drift from baseline %s\n", *baseline)
+		}
+	default:
+		if len(rep.Findings) > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(rep.Findings))
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "simlint: %d package(s) clean\n", len(pkgs))
+		}
+	}
+}
+
+// compareBaseline diffs the run against the committed report and describes
+// every drift: findings absent from the baseline and baseline entries that
+// no longer fire.
+func compareBaseline(path string, rep report) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	have := map[string]int{}
+	for _, f := range rep.Findings {
+		have[f.key()]++
+	}
+	known := map[string]int{}
+	for _, f := range base.Findings {
+		known[f.key()]++
+	}
+	var drift []string
+	for _, f := range rep.Findings {
+		if known[f.key()] > 0 {
+			known[f.key()]--
+			continue
+		}
+		drift = append(drift, fmt.Sprintf("new finding not in baseline: %s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Message))
+	}
+	for _, f := range base.Findings {
+		if have[f.key()] > 0 {
+			have[f.key()]--
+			continue
+		}
+		drift = append(drift, fmt.Sprintf("stale baseline entry no longer fires: %s: [%s] %s", f.File, f.Rule, f.Message))
+	}
+	sort.Strings(drift)
+	return drift, nil
+}
+
+func writeReport(path string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.

@@ -191,6 +191,8 @@ func (g *Group) StartRings(op Op, payload, hopRateLimit float64, rings int, onDo
 // startRingsDirect is the rebuild-per-issue ring path: flows, stream caps and
 // completion closures are constructed from scratch. It is the reference the
 // compiled-plan path is measured (and determinism-tested) against.
+//
+//lint:cold
 func (g *Group) startRingsDirect(op Op, payload, hopRateLimit float64, rings int, onDone func()) {
 	n := len(g.ranks)
 	eng := g.cluster.Eng
@@ -269,7 +271,7 @@ func (g *Group) NewHandle() *Handle {
 		h.pooled = false
 		return h
 	}
-	return &Handle{eng: g.cluster.Eng, owner: g}
+	return &Handle{eng: g.cluster.Eng, owner: g} //lint:allow steady-alloc — pool miss: the handle joins the free list on Release
 }
 
 // Release returns a pooled handle to its owning group for reuse. Only the
@@ -295,7 +297,7 @@ func (h *Handle) recycle() {
 	h.done = false
 	h.pooled = true
 	h.waiters = h.waiters[:0]
-	h.owner.hPool = append(h.owner.hPool, h)
+	h.owner.hPool = append(h.owner.hPool, h) //lint:allow steady-alloc — free-list push: capacity reaches steady state after the first iteration
 }
 
 // Fire marks the handle complete and runs registered callbacks. Must be
@@ -328,7 +330,7 @@ func (h *Handle) Then(fn func()) {
 		h.eng.Schedule(0, fn)
 		return
 	}
-	h.waiters = append(h.waiters, fn)
+	h.waiters = append(h.waiters, fn) //lint:allow steady-alloc — waiter array is truncated, not nilled; its backing survives pooling
 }
 
 // StartAsync launches the collective and returns a Handle to wait on. The

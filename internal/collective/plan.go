@@ -111,6 +111,8 @@ func (g *Group) Precompile(op Op, payload, hopRateLimit float64, rings int) {
 }
 
 // compilePlan builds the flows and closures for one collective shape.
+//
+//lint:cold
 func (g *Group) compilePlan(key planKey) *Plan {
 	p := &Plan{g: g, key: key, capEpoch: g.cluster.Net.CapacityEpoch()}
 	if key.tree {

@@ -82,6 +82,8 @@ func (p *Plan) compileTree() {
 
 // startTreeDirect is the rebuild-per-issue tree path, kept as the reference
 // for the compiled-plan determinism tests.
+//
+//lint:cold
 func (g *Group) startTreeDirect(payload float64, onDone func()) {
 	n := len(g.ranks)
 	eng := g.cluster.Eng

@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the inter-procedural substrate of simlint v2: a stdlib-only
+// static call graph over every loaded package, plus the //lint:steady and
+// //lint:cold annotation vocabulary. Nodes are function declarations and
+// function literals; edges are *static* calls — direct function calls and
+// method calls on concrete receivers. Calls through function values,
+// interface methods, or stored callbacks are deliberately not edges: the
+// codebase's hot paths bind closures once and invoke them dynamically, so
+// those closures carry their own annotations instead of being reached
+// through the binder.
+
+// funcNode is one function in the call graph.
+type funcNode struct {
+	fn   *types.Func  // nil for function literals
+	lit  *ast.FuncLit // nil for declared functions
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	callees []*funcNode
+	callers []*funcNode
+
+	steady bool // //lint:steady — replay entry point of the steady-alloc rule
+	cold   bool // //lint:cold — reachability barrier (pool-miss compile path)
+
+	// steadyFrom is the annotated entry whose reachability first claimed
+	// this node (nil when the node is unreachable from any steady root).
+	steadyFrom *funcNode
+
+	// Tarjan bookkeeping.
+	index, lowlink int
+	onStack        bool
+}
+
+// body returns the node's function body (nil for bodyless declarations).
+func (n *funcNode) body() *ast.BlockStmt {
+	if n.lit != nil {
+		return n.lit.Body
+	}
+	if n.decl != nil {
+		return n.decl.Body
+	}
+	return nil
+}
+
+// pos returns the node's declaration position.
+func (n *funcNode) pos() token.Pos {
+	if n.lit != nil {
+		return n.lit.Pos()
+	}
+	return n.decl.Pos()
+}
+
+// name returns a human-readable name for diagnostics.
+func (n *funcNode) name() string {
+	if n.fn != nil {
+		return funcKey(n.fn)
+	}
+	return "func literal"
+}
+
+// funcKey renders a *types.Func as the canonical configuration key:
+// "pkgpath.Name" for package functions, "pkgpath.Recv.Name" for methods
+// (pointer receivers are spelled without the star).
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// callGraph holds every node of the loaded module plus lookup indexes.
+type callGraph struct {
+	nodes  []*funcNode
+	byFunc map[*types.Func]*funcNode
+	byLit  map[*ast.FuncLit]*funcNode
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// staticCallee resolves a call expression to the invoked *types.Func when
+// the call is static: a direct function call, a package-qualified call, or
+// a method call whose receiver has a concrete type. Interface-method and
+// function-value calls return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				// A method expressed through an interface receiver is a
+				// dynamic dispatch site, not a static edge.
+				if types.IsInterface(sel.Recv()) {
+					return nil
+				}
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcDirectives extracts the //lint:steady and //lint:cold markers that
+// apply to a position: a directive on the same line, the preceding line, or
+// anywhere in the declaration's doc comment.
+type directiveIndex struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> markers ("steady"/"cold") on that line.
+	byLine map[string]map[int][]string
+}
+
+func buildDirectiveIndex(fset *token.FileSet, pkgs []*Package) *directiveIndex {
+	ix := &directiveIndex{fset: fset, byLine: map[string]map[int][]string{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					for _, marker := range []string{"steady", "cold"} {
+						if !strings.Contains(cm.Text, "lint:"+marker) {
+							continue
+						}
+						p := fset.Position(cm.Pos())
+						m := ix.byLine[p.Filename]
+						if m == nil {
+							m = map[int][]string{}
+							ix.byLine[p.Filename] = m
+						}
+						m[p.Line] = append(m[p.Line], marker)
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// at reports whether marker applies at pos (same line or the line above).
+func (ix *directiveIndex) at(pos token.Pos, marker string) bool {
+	p := ix.fset.Position(pos)
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, m := range ix.byLine[p.Filename][line] {
+			if m == marker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// docHas reports whether a declaration's doc comment carries the marker.
+func docHas(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, cm := range doc.List {
+		if strings.Contains(cm.Text, "lint:"+marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildCallGraph indexes every function declaration and literal of the
+// loaded packages and wires static call edges between them.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{
+		byFunc: map[*types.Func]*funcNode{},
+		byLit:  map[*ast.FuncLit]*funcNode{},
+	}
+	if len(pkgs) == 0 {
+		return g
+	}
+	dirs := buildDirectiveIndex(pkgs[0].Fset, pkgs)
+
+	// Pass 1: create nodes.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				n := &funcNode{fn: obj, decl: fd, pkg: pkg}
+				n.steady = docHas(fd.Doc, "steady") || dirs.at(fd.Pos(), "steady")
+				n.cold = docHas(fd.Doc, "cold") || dirs.at(fd.Pos(), "cold")
+				g.nodes = append(g.nodes, n)
+				if obj != nil {
+					g.byFunc[obj] = n
+				}
+				// Nested literals become their own nodes.
+				ast.Inspect(fd.Body, func(node ast.Node) bool {
+					lit, ok := node.(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					ln := &funcNode{lit: lit, pkg: pkg}
+					ln.steady = dirs.at(lit.Pos(), "steady")
+					ln.cold = dirs.at(lit.Pos(), "cold")
+					g.nodes = append(g.nodes, ln)
+					g.byLit[lit] = ln
+					return true
+				})
+			}
+		}
+	}
+
+	// Pass 2: wire static call edges. Calls inside a nested literal belong
+	// to the literal's node, not the enclosing function: creating a closure
+	// is not calling it. An immediately-invoked, deferred, or go'd literal
+	// does get an edge from its creator.
+	for _, n := range g.nodes {
+		body := n.body()
+		if body == nil {
+			continue
+		}
+		g.wireEdges(n, body)
+	}
+	return g
+}
+
+// wireEdges walks owner's own statements (stopping at nested literals) and
+// records call edges.
+func (g *callGraph) wireEdges(owner *funcNode, body *ast.BlockStmt) {
+	info := owner.pkg.Info
+	var walk func(node ast.Node) bool
+	walk = func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			if x != owner.lit {
+				return false // the literal's node walks its own body
+			}
+		case *ast.CallExpr:
+			if lit, ok := unparen(x.Fun).(*ast.FuncLit); ok {
+				// Immediately-invoked literal: runs when the owner runs.
+				if ln := g.byLit[lit]; ln != nil {
+					g.addEdge(owner, ln)
+				}
+				return true
+			}
+			if callee := staticCallee(info, x); callee != nil {
+				if cn := g.byFunc[callee]; cn != nil {
+					g.addEdge(owner, cn)
+				}
+			}
+		case *ast.DeferStmt, *ast.GoStmt:
+			var call *ast.CallExpr
+			if d, ok := x.(*ast.DeferStmt); ok {
+				call = d.Call
+			} else {
+				call = x.(*ast.GoStmt).Call
+			}
+			if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+				if ln := g.byLit[lit]; ln != nil {
+					g.addEdge(owner, ln)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func (g *callGraph) addEdge(from, to *funcNode) {
+	for _, c := range from.callees {
+		if c == to {
+			return
+		}
+	}
+	from.callees = append(from.callees, to)
+	to.callers = append(to.callers, from)
+}
+
+// postorder returns the nodes callee-first: a DFS postorder, which for an
+// acyclic graph yields every callee before its callers. Cycles (recursion)
+// are handled by the summary layer iterating to a fixpoint.
+func (g *callGraph) postorder() []*funcNode {
+	seen := map[*funcNode]bool{}
+	var out []*funcNode
+	var visit func(n *funcNode)
+	visit = func(n *funcNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.callees {
+			visit(c)
+		}
+		out = append(out, n)
+	}
+	for _, n := range g.nodes {
+		visit(n)
+	}
+	return out
+}
+
+// sccs returns the strongly connected components of the graph in reverse
+// topological (callee-first) order, via Tarjan's algorithm. Components with
+// more than one node (or a self-loop) are the recursion groups the summary
+// propagation iterates over.
+func (g *callGraph) sccs() [][]*funcNode {
+	index := 1
+	var stack []*funcNode
+	var out [][]*funcNode
+	var strongconnect func(n *funcNode)
+	strongconnect = func(n *funcNode) {
+		n.index, n.lowlink = index, index
+		index++
+		stack = append(stack, n)
+		n.onStack = true
+		for _, c := range n.callees {
+			if c.index == 0 {
+				strongconnect(c)
+				if c.lowlink < n.lowlink {
+					n.lowlink = c.lowlink
+				}
+			} else if c.onStack && c.index < n.lowlink {
+				n.lowlink = c.index
+			}
+		}
+		if n.lowlink == n.index {
+			var comp []*funcNode
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				m.onStack = false
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, n := range g.nodes {
+		if n.index == 0 {
+			strongconnect(n)
+		}
+	}
+	return out
+}
+
+// markSteadyReachable flood-fills steady reachability from every annotated
+// entry point, stopping at //lint:cold barriers. Cold nodes themselves are
+// not steady (a pool-miss compile path may allocate), and nothing is
+// reached through them.
+func (g *callGraph) markSteadyReachable() {
+	var queue []*funcNode
+	for _, n := range g.nodes {
+		if n.steady && !n.cold {
+			n.steadyFrom = n
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.callees {
+			if c.cold || c.steadyFrom != nil {
+				continue
+			}
+			c.steadyFrom = n.steadyFrom
+			queue = append(queue, c)
+		}
+	}
+}

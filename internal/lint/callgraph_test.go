@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadFixture type-checks one fixture package for white-box graph tests.
+func loadFixture(t *testing.T, pattern string) []*Package {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{pattern})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+func (a *analysis) nodeByName(name string) *funcNode {
+	for _, n := range a.graph.nodes {
+		if n.fn != nil && n.fn.Name() == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// TestCallGraphEdges pins the static-edge contract on the handle fixture:
+// direct calls and concrete-receiver methods are edges, and a recursive
+// helper lands in a single SCC with itself.
+func TestCallGraphEdges(t *testing.T) {
+	pkgs := loadFixture(t, "./handle")
+	a := buildAnalysis(fixtureConfig(), pkgs)
+
+	cross := a.nodeByName("CrossLeak")
+	mint := a.nodeByName("mint")
+	if cross == nil || mint == nil {
+		t.Fatal("CrossLeak or mint missing from the call graph")
+	}
+	found := false
+	for _, c := range cross.callees {
+		if c == mint {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("CrossLeak -> mint edge missing")
+	}
+
+	drain := a.nodeByName("drain")
+	if drain == nil {
+		t.Fatal("drain missing from the call graph")
+	}
+	self := false
+	for _, c := range drain.callees {
+		if c == drain {
+			self = true
+		}
+	}
+	if !self {
+		t.Error("drain's recursive self-edge missing")
+	}
+	for _, scc := range a.graph.sccs() {
+		for _, n := range scc {
+			if n == drain && len(scc) != 1 {
+				t.Errorf("drain SCC has %d members, want 1 (self-loop)", len(scc))
+			}
+		}
+	}
+}
+
+// TestSummaryPropagation pins the fixpoint results the rules consume:
+// mint's summary acquires, done releases its handle parameter, and the
+// recursive drain converges to releasing on all paths is NOT claimed (the
+// n>0 path defers to the recursive call, whose release summary propagates).
+func TestSummaryPropagation(t *testing.T) {
+	pkgs := loadFixture(t, "./handle")
+	a := buildAnalysis(fixtureConfig(), pkgs)
+
+	if n := a.nodeByName("mint"); n == nil || !a.sums[n].acquires {
+		t.Error("mint's summary should mark the result acquired")
+	}
+	if n := a.nodeByName("done"); n == nil || len(a.sums[n].releases) < 3 || !a.sums[n].releases[2] {
+		t.Error("done's summary should release parameter h (slot 2: receiver-less, p=1, h=2)")
+	}
+	if n := a.nodeByName("drain"); n == nil || len(a.sums[n].releases) < 3 || !a.sums[n].releases[2] {
+		t.Error("drain's recursive summary should converge to releasing h")
+	}
+	if n := a.nodeByName("use"); n != nil && len(a.sums[n].releases) > 1 && a.sums[n].releases[1] {
+		t.Error("use must not claim to release its argument")
+	}
+}
+
+// TestSteadyReachability pins the //lint:steady // //lint:cold vocabulary
+// on the steadyalloc fixture: step is reachable from the Replay entry,
+// compile is fenced off by its cold marker, Refill is unreachable.
+func TestSteadyReachability(t *testing.T) {
+	pkgs := loadFixture(t, "./steadyalloc")
+	a := buildAnalysis(fixtureConfig(), pkgs)
+
+	replay := a.nodeByName("Replay")
+	if replay == nil || !replay.steady {
+		t.Fatal("Replay should carry the steady marker")
+	}
+	if n := a.nodeByName("step"); n == nil || n.steadyFrom == nil {
+		t.Error("step should be steady-reachable from Replay")
+	}
+	if n := a.nodeByName("compile"); n == nil || !n.cold || n.steadyFrom != nil {
+		t.Error("compile is cold: it must fence steady reachability")
+	}
+	if n := a.nodeByName("Refill"); n == nil || n.steadyFrom != nil {
+		t.Error("Refill is never called from a steady entry; it must stay unmarked")
+	}
+}

@@ -1,0 +1,652 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Per-function summaries, propagated bottom-up over the call graph. The
+// intra-procedural analysis is path-insensitive: branches are walked with a
+// cloned state and joined ("released on any path" / "released on all
+// branches"), loops are walked once (twice for the epoch tracker when the
+// body can bump the epoch), and aliasing is approximated by treating any
+// flow of a tracked value into unknown code as an escape.
+
+// summary is what one function exposes to its callers.
+type summary struct {
+	// releases[i]: calling this function releases its i-th parameter
+	// (index 0 is the receiver for methods) on at least one path.
+	releases []bool
+	// escapes[i]: the i-th parameter is stored into memory that outlives
+	// the call (a field, a global, a captured closure, or an escaping
+	// callee position).
+	escapes []bool
+	// acquires: the function returns a freshly acquired pooled resource.
+	acquires bool
+	// bumps: the function may bump a network's capacity epoch through a
+	// static call chain.
+	bumps bool
+	// derived: the function returns a value derived from link capacities
+	// (stale after a capacity-epoch bump).
+	derived bool
+	// positive: every return value is provably positive.
+	positive bool
+}
+
+func (s *summary) grow(n int) {
+	for len(s.releases) < n {
+		s.releases = append(s.releases, false)
+	}
+	for len(s.escapes) < n {
+		s.escapes = append(s.escapes, false)
+	}
+}
+
+// analysis is the shared inter-procedural state built once per Run: the
+// call graph, the configured roots, and the computed summaries.
+type analysis struct {
+	graph *callGraph
+	sums  map[*funcNode]*summary
+
+	acquireRoots map[string]bool // funcKey -> yes
+	releaseRoots map[string]int  // funcKey -> released arg index (recv = 0)
+	bumpRoots    map[string]bool
+	derivedRoots map[string]bool
+}
+
+// rootSpec parses a comma-separated "funcKey" or "funcKey@argIndex" option.
+func parseRoots(opt string) map[string]int {
+	out := map[string]int{}
+	for _, entry := range strings.Split(opt, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		idx := 0
+		if at := strings.LastIndex(entry, "@"); at >= 0 {
+			if v, err := strconv.Atoi(entry[at+1:]); err == nil {
+				idx = v
+				entry = entry[:at]
+			}
+		}
+		out[entry] = idx
+	}
+	return out
+}
+
+func rootSet(opt string) map[string]bool {
+	out := map[string]bool{}
+	for k := range parseRoots(opt) {
+		out[k] = true
+	}
+	return out
+}
+
+// buildAnalysis constructs the call graph and computes every summary to a
+// fixpoint, callee-first (SCC condensation in reverse topological order,
+// iterating inside each recursion group until stable).
+func buildAnalysis(cfg Config, pkgs []*Package) *analysis {
+	a := &analysis{
+		graph:        buildCallGraph(pkgs),
+		sums:         map[*funcNode]*summary{},
+		acquireRoots: rootSet(cfg.Option("handle-release", "acquire")),
+		releaseRoots: parseRoots(cfg.Option("handle-release", "release")),
+		bumpRoots:    rootSet(cfg.Option("capepoch-guard", "bump")),
+		derivedRoots: rootSet(cfg.Option("capepoch-guard", "derived")),
+	}
+	for _, n := range a.graph.nodes {
+		a.sums[n] = &summary{}
+	}
+	for _, comp := range a.graph.sccs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if a.computeSummary(n) {
+					changed = true
+				}
+			}
+		}
+	}
+	a.graph.markSteadyReachable()
+	return a
+}
+
+// summaryFor returns the summary of a callee, or nil when the function is
+// outside the module (or dynamic).
+func (a *analysis) summaryFor(fn *types.Func) *summary {
+	if fn == nil {
+		return nil
+	}
+	if n := a.graph.byFunc[fn]; n != nil {
+		return a.sums[n]
+	}
+	return nil
+}
+
+// callReleases returns the index of the argument a call to fn releases, or
+// -1. Roots are consulted first, then computed summaries.
+func (a *analysis) callReleases(fn *types.Func) int {
+	if fn == nil {
+		return -1
+	}
+	if idx, ok := a.releaseRoots[funcKey(fn)]; ok {
+		return idx
+	}
+	if s := a.summaryFor(fn); s != nil {
+		for i, r := range s.releases {
+			if r {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// callAcquires reports whether a call to fn yields an acquired resource.
+func (a *analysis) callAcquires(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if a.acquireRoots[funcKey(fn)] {
+		return true
+	}
+	s := a.summaryFor(fn)
+	return s != nil && s.acquires
+}
+
+// callBumps reports whether a call to fn may bump the capacity epoch.
+func (a *analysis) callBumps(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if a.bumpRoots[funcKey(fn)] {
+		return true
+	}
+	s := a.summaryFor(fn)
+	return s != nil && s.bumps
+}
+
+// callDerived reports whether a call to fn returns capacity-derived state.
+func (a *analysis) callDerived(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if a.derivedRoots[funcKey(fn)] {
+		return true
+	}
+	s := a.summaryFor(fn)
+	return s != nil && s.derived
+}
+
+// callEscapes reports whether a call to fn stores its idx-th argument away.
+func (a *analysis) callEscapes(fn *types.Func, idx int) bool {
+	s := a.summaryFor(fn)
+	return s != nil && idx < len(s.escapes) && s.escapes[idx]
+}
+
+// computeSummary recomputes one node's summary and reports whether any bit
+// changed. Bits are monotone (false -> true), so iteration terminates.
+func (a *analysis) computeSummary(n *funcNode) bool {
+	body := n.body()
+	if body == nil {
+		return false
+	}
+	old := *a.sums[n]
+	oldRel := append([]bool(nil), old.releases...)
+	oldEsc := append([]bool(nil), old.escapes...)
+
+	s := a.sums[n]
+
+	// bumps: any static call to a bumper.
+	if !s.bumps {
+		a.eachOwnCall(n, func(call *ast.CallExpr) {
+			if a.callBumps(staticCallee(n.pkg.Info, call)) {
+				s.bumps = true
+			}
+		})
+	}
+
+	// releases / escapes / acquires via the handle tracker in summary mode.
+	t := newTracker(a, n, nil)
+	t.run()
+
+	// derived + positive from the return expressions.
+	s.derived = s.derived || a.returnsDerived(n)
+	s.positive = a.returnsPositive(n)
+
+	changed := s.bumps != old.bumps || s.acquires != old.acquires ||
+		s.derived != old.derived || s.positive != old.positive ||
+		!boolsEq(s.releases, oldRel) || !boolsEq(s.escapes, oldEsc)
+	return changed
+}
+
+func boolsEq(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// eachOwnCall visits every call expression that executes when n itself
+// runs — i.e. skipping the bodies of nested function literals.
+func (a *analysis) eachOwnCall(n *funcNode, visit func(*ast.CallExpr)) {
+	body := n.body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return x == n.lit
+		case *ast.CallExpr:
+			visit(x)
+		}
+		return true
+	})
+}
+
+// ---- positivity ----
+
+// constPositive reports whether e is a constant with value > 0.
+func constPositive(info *types.Info, e ast.Expr) (bool, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) > 0, true
+	}
+	return false, false
+}
+
+// provablyPositive reports whether expr is provably > 0: a positive
+// constant, a sum/product of provably positive terms, a conversion of one,
+// a call to a function whose every return is provably positive, an
+// identifier all of whose assignments in fn are provably positive, a
+// parameter guarded by a dominating positivity check, or a field whose
+// every write across the module is provably positive.
+func (a *analysis) provablyPositive(n *funcNode, e ast.Expr, seen map[types.Object]bool) bool {
+	info := n.pkg.Info
+	e = unparen(e)
+	if pos, isConst := constPositive(info, e); isConst {
+		return pos
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD || x.Op == token.MUL {
+			return a.provablyPositive(n, x.X, seen) && a.provablyPositive(n, x.Y, seen)
+		}
+	case *ast.CallExpr:
+		// Type conversion: positivity passes through numeric conversions.
+		if tv, ok := info.Types[unparen(x.Fun)]; ok && tv.IsType() && len(x.Args) == 1 {
+			return a.provablyPositive(n, x.Args[0], seen)
+		}
+		callee := staticCallee(info, x)
+		if s := a.summaryFor(callee); s != nil && s.positive {
+			return true
+		}
+	case *ast.Ident:
+		obj := info.Uses[x]
+		v, ok := obj.(*types.Var)
+		if !ok || seen[v] {
+			return false
+		}
+		seen[v] = true
+		if a.guardedPositive(n, v) {
+			return true
+		}
+		return a.assignmentsPositive(n, v, seen)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if f, ok := sel.Obj().(*types.Var); ok {
+				if seen[f] {
+					return false
+				}
+				seen[f] = true
+				return a.fieldWritesPositive(f, seen)
+			}
+		}
+		// Package-level variable accessed as pkg.Name.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			return a.globalWritesPositive(v, seen)
+		}
+	}
+	return false
+}
+
+// guardedPositive reports whether fn contains a dominating guard of the
+// shape "if v < c { panic/return }" (or <=, ==, with c a positive constant
+// or zero) that establishes v > 0 afterwards. Guard placement is
+// approximated at function scope.
+func (a *analysis) guardedPositive(n *funcNode, v *types.Var) bool {
+	body := n.body()
+	if body == nil {
+		return false
+	}
+	info := n.pkg.Info
+	guarded := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		ifs, ok := node.(*ast.IfStmt)
+		if !ok || guarded {
+			return true
+		}
+		cond, ok := unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		// Normalize to "v OP c".
+		lhs, op, rhs := cond.X, cond.Op, cond.Y
+		if id, isID := unparen(rhs).(*ast.Ident); isID && info.Uses[id] == v {
+			lhs, rhs = rhs, lhs
+			switch op {
+			case token.LSS:
+				op = token.GTR
+			case token.LEQ:
+				op = token.GEQ
+			case token.GTR:
+				op = token.LSS
+			case token.GEQ:
+				op = token.LEQ
+			}
+		}
+		id, isID := unparen(lhs).(*ast.Ident)
+		if !isID || info.Uses[id] != v {
+			return true
+		}
+		tv, ok := info.Types[unparen(rhs)]
+		if !ok || tv.Value == nil {
+			return true
+		}
+		if k := tv.Value.Kind(); k != constant.Int && k != constant.Float {
+			return true
+		}
+		sign := constant.Sign(tv.Value)
+		// "v < positive-const", "v <= positive-const", "v <= 0", "v < 0+1",
+		// "v == 0": the failing branch must diverge for the code after the
+		// if to see v > 0.
+		ok = false
+		switch op {
+		case token.LSS:
+			ok = sign > 0
+		case token.LEQ:
+			ok = sign >= 0
+		case token.EQL:
+			ok = sign == 0
+		}
+		if ok && diverges(ifs.Body) {
+			guarded = true
+		}
+		return true
+	})
+	return guarded
+}
+
+// diverges reports whether a block always panics or returns.
+func diverges(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// assignmentsPositive checks every assignment to a local variable inside fn.
+func (a *analysis) assignmentsPositive(n *funcNode, v *types.Var, seen map[types.Object]bool) bool {
+	body := n.body()
+	if body == nil {
+		return false
+	}
+	info := n.pkg.Info
+	any, all := false, true
+	ast.Inspect(body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, isID := unparen(lhs).(*ast.Ident)
+			if !isID {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != v {
+				continue
+			}
+			any = true
+			if !a.provablyPositive(n, as.Rhs[i], seen) {
+				all = false
+			}
+		}
+		return true
+	})
+	return any && all
+}
+
+// fieldWritesPositive audits every write to a named struct field across the
+// whole module: composite-literal values and direct assignments. All writes
+// must be provably positive, and at least one must exist (the zero value is
+// not positive).
+func (a *analysis) fieldWritesPositive(field *types.Var, seen map[types.Object]bool) bool {
+	any, all := false, true
+	for _, n := range a.graph.nodes {
+		body := n.body()
+		if body == nil || n.lit != nil {
+			continue
+		}
+		info := n.pkg.Info
+		ast.Inspect(body, func(node ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.CompositeLit:
+				for _, el := range x.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || info.Uses[key] != field {
+						continue
+					}
+					any = true
+					if !a.provablyPositive(n, kv.Value, seen) {
+						all = false
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					sel, ok := unparen(lhs).(*ast.SelectorExpr)
+					if !ok || i >= len(x.Rhs) {
+						continue
+					}
+					if s, ok := info.Selections[sel]; !ok || s.Obj() != field {
+						continue
+					}
+					any = true
+					if !a.provablyPositive(n, x.Rhs[i], seen) {
+						all = false
+					}
+				}
+			}
+			return all
+		})
+		if !all {
+			return false
+		}
+	}
+	return any && all
+}
+
+// globalWritesPositive audits a package-level variable: its initializer and
+// every assignment across the module must be provably positive.
+func (a *analysis) globalWritesPositive(v *types.Var, seen map[types.Object]bool) bool {
+	any, all := false, true
+	// Initializer: walk the declaring package's files for the var spec.
+	for _, pkg := range a.allPackages() {
+		if pkg.Types != v.Pkg() {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				vs, ok := node.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for i, name := range vs.Names {
+					if pkg.Info.Defs[name] != v || i >= len(vs.Values) {
+						continue
+					}
+					any = true
+					if pos, isConst := constPositive(pkg.Info, vs.Values[i]); !isConst || !pos {
+						all = false
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Assignments anywhere.
+	for _, n := range a.graph.nodes {
+		body := n.body()
+		if body == nil {
+			continue
+		}
+		info := n.pkg.Info
+		ast.Inspect(body, func(node ast.Node) bool {
+			as, ok := node.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, isID := unparen(lhs).(*ast.Ident)
+				if !isID || info.Uses[id] != v || i >= len(as.Rhs) {
+					continue
+				}
+				any = true
+				if !a.provablyPositive(n, as.Rhs[i], seen) {
+					all = false
+				}
+			}
+			return true
+		})
+	}
+	return any && all
+}
+
+// allPackages returns the distinct packages of the graph's nodes.
+func (a *analysis) allPackages() []*Package {
+	seen := map[*Package]bool{}
+	var out []*Package
+	for _, n := range a.graph.nodes {
+		if n.pkg != nil && !seen[n.pkg] {
+			seen[n.pkg] = true
+			out = append(out, n.pkg)
+		}
+	}
+	return out
+}
+
+// returnsDerived reports whether n returns a capacity-derived value: a
+// direct call to a derived root (or derived callee), or a local variable
+// one of whose assignments is such a call.
+func (a *analysis) returnsDerived(n *funcNode) bool {
+	body := n.body()
+	if body == nil {
+		return false
+	}
+	info := n.pkg.Info
+	derivedVars := map[types.Object]bool{}
+	ast.Inspect(body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			call, ok := unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !a.callDerived(staticCallee(info, call)) {
+				continue
+			}
+			if id, isID := unparen(lhs).(*ast.Ident); isID {
+				if obj := objectOf(info, id); obj != nil {
+					derivedVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return x == n.lit
+		case *ast.ReturnStmt:
+			for _, e := range x.Results {
+				e = unparen(e)
+				if call, ok := e.(*ast.CallExpr); ok && a.callDerived(staticCallee(info, call)) {
+					found = true
+				}
+				if id, ok := e.(*ast.Ident); ok && derivedVars[objectOf(info, id)] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// objectOf resolves an identifier to its object (def or use).
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// returnsPositive reports whether every return expression of n is provably
+// positive (and at least one return exists).
+func (a *analysis) returnsPositive(n *funcNode) bool {
+	body := n.body()
+	if body == nil {
+		return false
+	}
+	any, all := false, true
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return x == n.lit
+		case *ast.ReturnStmt:
+			for _, e := range x.Results {
+				any = true
+				if !a.provablyPositive(n, e, map[types.Object]bool{}) {
+					all = false
+				}
+			}
+		}
+		return all
+	})
+	return any && all
+}

@@ -109,11 +109,24 @@ type Checker struct {
 	allowed map[string]map[int][]string
 	// suppressed counts findings dropped by //lint:allow comments.
 	suppressed int
+	// hits records which suppressions actually silenced a finding
+	// (file -> line -> rule), feeding the unused-suppression audit.
+	hits map[string]map[int]map[string]bool
+	// ranRules names every rule executed in this run.
+	ranRules map[string]bool
+	// analysis is the inter-procedural layer (call graph + summaries) the
+	// v2 rules consult; built once per Run.
+	analysis *analysis
 }
 
 // NewChecker builds a checker over the loaded packages' file set.
 func NewChecker(cfg Config, fset *token.FileSet) *Checker {
-	return &Checker{cfg: cfg, fset: fset, allowed: map[string]map[int][]string{}}
+	return &Checker{
+		cfg: cfg, fset: fset,
+		allowed:  map[string]map[int][]string{},
+		hits:     map[string]map[int]map[string]bool{},
+		ranRules: map[string]bool{},
+	}
 }
 
 // Config exposes the active configuration to rules.
@@ -135,11 +148,31 @@ func (c *Checker) isAllowed(p token.Position) bool {
 	for _, line := range [2]int{p.Line, p.Line - 1} {
 		for _, r := range lines[line] {
 			if r == c.rule || r == "*" {
+				c.recordHit(p.Filename, line, c.rule)
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// recordHit marks the suppression at (file, line) as having silenced rule.
+func (c *Checker) recordHit(file string, line int, rule string) {
+	m := c.hits[file]
+	if m == nil {
+		m = map[int]map[string]bool{}
+		c.hits[file] = m
+	}
+	if m[line] == nil {
+		m[line] = map[string]bool{}
+	}
+	m[line][rule] = true
+}
+
+// suppressionHit reports whether the //lint:allow at (file, line) silenced
+// at least one finding of rule during this run.
+func (c *Checker) suppressionHit(file string, line int, rule string) bool {
+	return c.hits[file][line][rule]
 }
 
 // Suppressed reports how many findings //lint:allow comments silenced.
@@ -202,8 +235,10 @@ func Run(cfg Config, rules []Rule, pkgs []*Package) []Finding {
 	for _, pkg := range pkgs {
 		c.registerSuppressions(pkg)
 	}
+	c.analysis = buildAnalysis(cfg, pkgs)
 	for _, r := range rules {
 		c.rule = r.Name()
+		c.ranRules[r.Name()] = true
 		for _, pkg := range pkgs {
 			if cfg.Applies(r.Name(), pkg.ImportPath) {
 				r.Check(c, pkg)
@@ -227,6 +262,8 @@ func Run(cfg Config, rules []Rule, pkgs []*Package) []Finding {
 }
 
 // AllRules returns the registry in stable (registration) order.
+// unusedSuppression must stay last: it audits the hit log every other rule
+// filled in.
 func AllRules() []Rule {
 	return []Rule{
 		noWallclock{},
@@ -234,6 +271,11 @@ func AllRules() []Rule {
 		floatEq{},
 		scratchEscape{},
 		goroutineSharedWrite{},
+		handleRelease{},
+		capepochGuard{},
+		steadyAlloc{},
+		lookaheadPositive{},
+		unusedSuppression{},
 	}
 }
 
@@ -281,5 +323,57 @@ func DefaultConfig() Config {
 		// everywhere else a write to captured state from a go closure is a
 		// data race waiting for -race to find it.
 		"goroutine-shared-write": {Exclude: []string{"llmbw/internal/runner"}},
+		// Pooled handles, compiled plans, and handoff transfers must come
+		// back to their free lists exactly once. Acquire roots are the pool
+		// pop sites; release roots name which argument goes back (receiver
+		// is index 0). Summaries extend both sets through callees.
+		"handle-release": {
+			Include: []string{
+				"llmbw/internal/collective", "llmbw/internal/fabric",
+				"llmbw/internal/train",
+			},
+			Options: map[string]string{
+				"acquire": "llmbw/internal/collective.Group.NewHandle," +
+					"llmbw/internal/collective.Group.acquirePlan," +
+					"llmbw/internal/fabric.Handoff.acquire",
+				"release": "llmbw/internal/collective.Handle.Release@0," +
+					"llmbw/internal/collective.Group.releasePlan@1," +
+					"llmbw/internal/fabric.Handoff.recycle@1",
+			},
+		},
+		// Capacity-derived values (link capacities, route minima, cached
+		// path caps) go stale when SetCapacity bumps the epoch; reusing one
+		// without recomputing reintroduces the bug the capEpoch fence fixed.
+		"capepoch-guard": {
+			Include: []string{
+				"llmbw/internal/collective", "llmbw/internal/fabric",
+				"llmbw/internal/train", "llmbw/internal/whatif",
+			},
+			Options: map[string]string{
+				"bump": "llmbw/internal/fabric.Network.SetCapacity",
+				"derived": "llmbw/internal/fabric.Link.Capacity," +
+					"llmbw/internal/fabric.Network.CapacityEpoch," +
+					"llmbw/internal/fabric.PathCap.Value," +
+					"llmbw/internal/collective.minRoCECapacity",
+			},
+		},
+		// The replay hot paths are pinned at 0 allocs/op; //lint:steady
+		// marks the entry points and this rule audits everything statically
+		// reachable from them. //lint:cold fences pool-miss compile paths.
+		"steady-alloc": {Include: []string{
+			"llmbw/internal/sim", "llmbw/internal/fabric",
+			"llmbw/internal/collective", "llmbw/internal/train",
+		}},
+		// Conservative PDES merge order and handoff wire hops rely on
+		// strictly positive lookahead; a zero reaching Connect or NewHandoff
+		// only surfaces as a panic (or a nondeterministic merge) much later.
+		"lookahead-positive": {
+			Options: map[string]string{
+				"sites": "llmbw/internal/sim.ShardedEngine.Connect@2," +
+					"llmbw/internal/fabric.NewHandoff@3",
+			},
+		},
+		// Every //lint:allow must still be earning its keep.
+		"unused-suppression": {},
 	}}
 }

@@ -19,6 +19,19 @@ func fixtureConfig() Config {
 		"float-eq":               {},
 		"scratch-escape":         {Options: map[string]string{"types": "pooledScratch"}},
 		"goroutine-shared-write": {},
+		"handle-release": {Options: map[string]string{
+			"acquire": "fixture/handle.Pool.Acquire",
+			"release": "fixture/handle.Pool.Release@1",
+		}},
+		"capepoch-guard": {Options: map[string]string{
+			"bump":    "fixture/capepoch.Net.SetCapacity",
+			"derived": "fixture/capepoch.Link.Capacity",
+		}},
+		"steady-alloc": {},
+		"lookahead-positive": {Options: map[string]string{
+			"sites": "fixture/lookahead.Engine.Connect@2",
+		}},
+		"unused-suppression": {},
 	}}
 }
 

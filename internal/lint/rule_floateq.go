@@ -9,8 +9,8 @@ import (
 // Comparing against a compile-time constant (0, math.MaxFloat64, a sentinel)
 // is a deliberate bit-pattern test and stays allowed; comparing two computed
 // floats is almost always a rounding-sensitive bug that should use an epsilon
-// helper — or carry a //lint:allow float-eq comment arguing why bit equality
-// is the intended semantics (e.g. an idempotence fast path).
+// helper — or carry an allow directive naming float-eq, arguing why bit
+// equality is the intended semantics (e.g. an idempotence fast path).
 type floatEq struct{}
 
 func (floatEq) Name() string { return "float-eq" }

@@ -1,0 +1,38 @@
+package lint
+
+import "go/token"
+
+// handleRelease enforces the pooled-resource lifecycle contract: every
+// handle or plan acquired from a pool (configured acquire roots, plus any
+// function whose summary says it returns a fresh acquisition) must be
+// released exactly once on every path. The intra-procedural tracker flags
+// leaks, double-releases, releases of values that already escaped into
+// longer-lived memory, and releases inside loops of values acquired outside
+// them; the summary layer extends all of this across function boundaries.
+//
+// Options:
+//
+//	acquire — comma-separated funcKeys whose result is a fresh pooled value
+//	release — comma-separated "funcKey@argIndex" releasers (receiver = 0)
+type handleRelease struct{}
+
+func (handleRelease) Name() string { return "handle-release" }
+func (handleRelease) Doc() string {
+	return "pooled handles and plans must be released exactly once on all paths"
+}
+
+func (handleRelease) Check(c *Checker, pkg *Package) {
+	a := c.analysis
+	if a == nil {
+		return
+	}
+	for _, n := range a.graph.nodes {
+		if n.pkg != pkg {
+			continue
+		}
+		t := newTracker(a, n, func(pos token.Pos, format string, args ...any) {
+			c.Reportf(pos, format, args...)
+		})
+		t.run()
+	}
+}

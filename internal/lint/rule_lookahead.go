@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lookaheadPositive proves that every configured lookahead-carrying call
+// site receives a strictly positive value: a positive constant, an
+// arithmetic combination of positives, a call whose every return is
+// provably positive, a local whose every assignment is positive, a
+// parameter protected by a dominating "if v < minimum { panic }" guard, or
+// a struct field / package variable whose every write across the module is
+// positive. The conservative lookahead of the sharded engine and the
+// handoff wire latency both degenerate to nondeterministic merges (or a
+// runtime panic three layers away) when zero sneaks in.
+//
+// Options:
+//
+//	sites — comma-separated "funcKey@argIndex" (zero-based call argument)
+type lookaheadPositive struct{}
+
+func (lookaheadPositive) Name() string { return "lookahead-positive" }
+func (lookaheadPositive) Doc() string {
+	return "lookahead and wire-latency arguments must be provably positive"
+}
+
+func (lookaheadPositive) Check(c *Checker, pkg *Package) {
+	a := c.analysis
+	if a == nil {
+		return
+	}
+	sites := parseRoots(c.Config().Option("lookahead-positive", "sites"))
+	if len(sites) == 0 {
+		return
+	}
+	for _, n := range a.graph.nodes {
+		if n.pkg != pkg {
+			continue
+		}
+		body := n.body()
+		if body == nil {
+			continue
+		}
+		info := pkg.Info
+		ast.Inspect(body, func(node ast.Node) bool {
+			if lit, ok := node.(*ast.FuncLit); ok && lit != n.lit {
+				return false // the literal's own node visits its body
+			}
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(info, call)
+			if callee == nil {
+				return true
+			}
+			idx, isSite := sites[funcKey(callee)]
+			if !isSite || idx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[idx]
+			if !a.provablyPositive(n, arg, map[types.Object]bool{}) {
+				c.Reportf(arg.Pos(), "%s at argument %d of %s is not provably positive: a zero lookahead breaks the conservative shard merge", describeExpr(arg), idx, callee.Name())
+			}
+			return true
+		})
+	}
+}
+
+// describeExpr renders a short label for the offending argument.
+func describeExpr(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if id, ok := unparen(x.X).(*ast.Ident); ok {
+			return id.Name + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	case *ast.CallExpr:
+		return callName(x) + "(...)"
+	}
+	return "lookahead value"
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// steadyAlloc guards the AllocsPerRun pins: any function reachable (over
+// static call edges) from a //lint:steady entry point must stay
+// allocation-free. It flags append growth, make/new, map and slice
+// composite literals, &T{} literals, closure creation, go statements,
+// defers, string concatenation, variadic argument collection, and interface
+// boxing at call sites and conversions. //lint:cold marks pool-miss compile
+// paths the reachability flood does not cross, and arguments of a direct
+// panic(...) are exempt — a panic aborts the replay anyway.
+type steadyAlloc struct{}
+
+func (steadyAlloc) Name() string { return "steady-alloc" }
+func (steadyAlloc) Doc() string {
+	return "functions reachable from //lint:steady entry points must not allocate"
+}
+
+func (steadyAlloc) Check(c *Checker, pkg *Package) {
+	a := c.analysis
+	if a == nil {
+		return
+	}
+	for _, n := range a.graph.nodes {
+		if n.pkg != pkg || n.steadyFrom == nil {
+			continue
+		}
+		checkSteadyNode(c, a, n)
+	}
+}
+
+func checkSteadyNode(c *Checker, a *analysis, n *funcNode) {
+	body := n.body()
+	if body == nil {
+		return
+	}
+	info := n.pkg.Info
+	from := n.steadyFrom.name()
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			if x == n.lit {
+				return true
+			}
+			// Creating a closure in the steady path allocates; the literal's
+			// own body is checked through its own node's reachability.
+			c.Reportf(x.Pos(), "closure created in steady path (reachable from %s): binding a func literal allocates", from)
+			return false
+		case *ast.GoStmt:
+			c.Reportf(x.Pos(), "go statement in steady path (reachable from %s): spawning a goroutine allocates", from)
+		case *ast.DeferStmt:
+			c.Reportf(x.Pos(), "defer in steady path (reachable from %s): deferred calls can allocate per run", from)
+		case *ast.CompositeLit:
+			t := info.Types[x].Type
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map, *types.Slice:
+				c.Reportf(x.Pos(), "map/slice literal in steady path (reachable from %s) allocates", from)
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, isLit := unparen(x.X).(*ast.CompositeLit); isLit {
+					c.Reportf(x.Pos(), "&T{...} in steady path (reachable from %s) allocates", from)
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op.String() == "+" {
+				if t := info.Types[x.X].Type; t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if !isConstExpr(info, x) {
+							c.Reportf(x.Pos(), "string concatenation in steady path (reachable from %s) allocates", from)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isPanicCall(info, x) {
+				return false // a panic aborts the replay; its message may allocate
+			}
+			checkSteadyCall(c, info, x, from)
+		}
+		return true
+	})
+}
+
+// isConstExpr reports whether the whole expression folds to a constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isPanicCall matches the builtin panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// checkSteadyCall flags allocating builtins, variadic collection, and
+// interface boxing at one call site.
+func checkSteadyCall(c *Checker, info *types.Info, call *ast.CallExpr, from string) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				c.Reportf(call.Pos(), "append in steady path (reachable from %s) may grow the backing array", from)
+			case "make":
+				c.Reportf(call.Pos(), "make in steady path (reachable from %s) allocates", from)
+			case "new":
+				c.Reportf(call.Pos(), "new in steady path (reachable from %s) allocates", from)
+			}
+			return
+		}
+	}
+	tv, ok := info.Types[unparen(call.Fun)]
+	if !ok {
+		return
+	}
+	// Conversion to an interface type boxes the operand.
+	if tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := info.Types[call.Args[0]].Type; at != nil && !types.IsInterface(at) {
+				c.Reportf(call.Pos(), "conversion to interface in steady path (reachable from %s) boxes the value", from)
+			}
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	// Collecting variadic arguments builds a slice per call.
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+		c.Reportf(call.Pos(), "variadic call in steady path (reachable from %s) allocates its argument slice", from)
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok && !call.Ellipsis.IsValid() {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		c.Reportf(arg.Pos(), "interface boxing in steady path (reachable from %s): concrete argument passed as interface", from)
+	}
+}

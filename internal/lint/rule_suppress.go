@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// unusedSuppression keeps the //lint:allow inventory honest: a suppression
+// naming a rule that ran on the file's package but silenced nothing at that
+// position is itself a finding. It must be registered last so every other
+// rule has already recorded its hits.
+type unusedSuppression struct{}
+
+func (unusedSuppression) Name() string { return "unused-suppression" }
+func (unusedSuppression) Doc() string {
+	return "//lint:allow comments whose rule no longer fires there must be removed"
+}
+
+func (unusedSuppression) Check(c *Checker, pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				rules := allowDirective(cm.Text)
+				if len(rules) == 0 {
+					continue
+				}
+				p := c.fset.Position(cm.Pos())
+				sort.Strings(rules)
+				for _, r := range rules {
+					if r == "*" || r == "unused-suppression" {
+						continue // wildcard and self-suppression are not audited
+					}
+					if !c.ranRules[r] || !c.cfg.Applies(r, pkg.ImportPath) {
+						continue // the rule never ran here; cannot judge the suppression
+					}
+					if c.suppressionHit(p.Filename, p.Line, r) {
+						continue
+					}
+					c.reportUnused(cm.Pos(), r)
+				}
+			}
+		}
+	}
+}
+
+// reportUnused bypasses the usual allow check for the audited rule but still
+// honors a suppression of unused-suppression itself.
+func (c *Checker) reportUnused(pos token.Pos, rule string) {
+	c.Reportf(pos, "//lint:allow %s suppresses nothing here: the rule no longer fires at this position", rule)
+}

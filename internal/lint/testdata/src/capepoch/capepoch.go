@@ -1,0 +1,99 @@
+// Package capepoch exercises the capepoch-guard rule: capacity-derived
+// values must be recomputed after anything that can bump the capacity epoch.
+package capepoch
+
+type Link struct{ cap float64 }
+
+// Capacity is the configured derived root.
+func (l *Link) Capacity() float64 { return l.cap }
+
+type Net struct {
+	links []*Link
+	epoch int64
+}
+
+// SetCapacity is the configured bump root.
+func (n *Net) SetCapacity(l *Link, c float64) {
+	l.cap = c
+	n.epoch++
+}
+
+// reconfigure bumps the epoch through a callee; the summary propagates.
+func (n *Net) reconfigure(l *Link) {
+	n.SetCapacity(l, 5)
+}
+
+// minCap returns a capacity-derived value; its summary marks it derived.
+func minCap(links []*Link) float64 {
+	m := links[0].Capacity()
+	for _, l := range links {
+		if l.Capacity() < m {
+			m = l.Capacity()
+		}
+	}
+	return m
+}
+
+func record(v float64) { _ = v }
+
+// Good recomputes after the bump.
+func Good(n *Net, l *Link) float64 {
+	c := l.Capacity()
+	total := c + 1
+	n.SetCapacity(l, 2)
+	c = l.Capacity()
+	return total + c
+}
+
+// GoodReadThenBump reads the old capacity inside the bumping statement
+// itself — the read-then-reconfigure idiom.
+func GoodReadThenBump(n *Net, l *Link) {
+	c := l.Capacity()
+	n.SetCapacity(l, c*0.5)
+}
+
+// Stale reuses a pre-bump capacity read.
+func Stale(n *Net, l *Link) float64 {
+	c := l.Capacity()
+	n.SetCapacity(l, 2)
+	return c // want capepoch-guard
+}
+
+// StaleThroughCallee reuses state across a bump hidden in a callee.
+func StaleThroughCallee(n *Net, l *Link) float64 {
+	c := l.Capacity()
+	n.reconfigure(l)
+	return c // want capepoch-guard
+}
+
+// StaleDerivedCallee tracks a value that is derived through a callee.
+func StaleDerivedCallee(n *Net, l *Link) float64 {
+	m := minCap(n.links)
+	n.SetCapacity(l, 3)
+	return m // want capepoch-guard
+}
+
+// BranchStale is stale because one branch bumps.
+func BranchStale(n *Net, l *Link, cond bool) float64 {
+	c := l.Capacity()
+	if cond {
+		n.SetCapacity(l, 1)
+	}
+	return c // want capepoch-guard
+}
+
+// LoopStale: a bump late in iteration k taints the use early in k+1.
+func LoopStale(n *Net, l *Link) {
+	c := l.Capacity()
+	for i := 0; i < 2; i++ {
+		record(c) // want capepoch-guard
+		n.SetCapacity(l, float64(i))
+	}
+}
+
+// AllowedStale is a deliberate pre-bump snapshot.
+func AllowedStale(n *Net, l *Link) float64 {
+	c := l.Capacity()
+	n.SetCapacity(l, 1)
+	return c //lint:allow capepoch-guard — deliberate pre-bump snapshot for a delta report
+}

@@ -1,0 +1,162 @@
+// Package handle exercises the handle-release rule: pooled values must be
+// released exactly once on every path, across function boundaries.
+package handle
+
+type Handle struct{ id int }
+
+type Pool struct {
+	free []*Handle
+	tail *Handle
+}
+
+// Acquire is the configured acquire root.
+func (p *Pool) Acquire() *Handle {
+	h := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return h
+}
+
+// Release is the configured release root (argument index 1).
+func (p *Pool) Release(h *Handle) {
+	p.free = append(p.free, h)
+}
+
+func use(h *Handle) { _ = h.id }
+
+// Good acquires and releases on the single path.
+func Good(p *Pool) {
+	h := p.Acquire()
+	use(h)
+	p.Release(h)
+}
+
+// Leak never releases.
+func Leak(p *Pool) {
+	h := p.Acquire() // want handle-release
+	use(h)
+}
+
+// Dropped discards the acquired value outright.
+func Dropped(p *Pool) {
+	p.Acquire() // want handle-release
+}
+
+// Double releases twice on the same path.
+func Double(p *Pool) {
+	h := p.Acquire()
+	p.Release(h)
+	p.Release(h) // want handle-release
+}
+
+// BranchLeak releases on one branch only.
+func BranchLeak(p *Pool, cond bool) {
+	h := p.Acquire() // want handle-release
+	if cond {
+		p.Release(h)
+	}
+}
+
+// BranchGood releases on every branch.
+func BranchGood(p *Pool, cond bool) {
+	h := p.Acquire()
+	if cond {
+		p.Release(h)
+	} else {
+		p.Release(h)
+	}
+}
+
+// EscapeRelease stores the handle into long-lived memory, then releases it:
+// the stored reference would observe pool reuse.
+func EscapeRelease(p *Pool) {
+	h := p.Acquire()
+	p.tail = h
+	p.Release(h) // want handle-release
+}
+
+// LoopRelease releases inside a loop a handle acquired outside it. The
+// acquisition is also flagged: a zero-iteration loop releases nothing.
+func LoopRelease(p *Pool) {
+	h := p.Acquire() // want handle-release
+	for i := 0; i < 3; i++ {
+		p.Release(h) // want handle-release
+	}
+}
+
+// Reassign drops the first handle by overwriting the variable.
+func Reassign(p *Pool) {
+	h := p.Acquire() // want handle-release
+	h = p.Acquire()
+	p.Release(h)
+}
+
+// mint returns a fresh acquisition; its summary marks the result acquired.
+func mint(p *Pool) *Handle {
+	return p.Acquire()
+}
+
+// CrossLeak leaks a handle acquired through a helper.
+func CrossLeak(p *Pool) {
+	h := mint(p) // want handle-release
+	use(h)
+}
+
+// CrossGood releases the helper-acquired handle.
+func CrossGood(p *Pool) {
+	h := mint(p)
+	p.Release(h)
+}
+
+// done releases its argument; its summary propagates to callers.
+func done(p *Pool, h *Handle) {
+	p.Release(h)
+}
+
+// HelperRelease releases through the helper: clean.
+func HelperRelease(p *Pool) {
+	h := p.Acquire()
+	done(p, h)
+}
+
+// HelperDouble releases through the helper and then again directly.
+func HelperDouble(p *Pool) {
+	h := p.Acquire()
+	done(p, h)
+	p.Release(h) // want handle-release
+}
+
+// drain recurses until the count is spent, then releases: the summary of a
+// recursion group must reach its fixpoint.
+func drain(p *Pool, h *Handle, n int) {
+	if n <= 0 {
+		p.Release(h)
+		return
+	}
+	drain(p, h, n-1)
+}
+
+// RecursiveGood releases through the recursive helper.
+func RecursiveGood(p *Pool) {
+	h := p.Acquire()
+	drain(p, h, 3)
+}
+
+// GoodClosure hands the handle to a closure that releases it later: the
+// capture is an escape, not a leak.
+func GoodClosure(p *Pool) func() {
+	h := p.Acquire()
+	return func() { p.Release(h) }
+}
+
+// GoodReturned transfers ownership to the caller.
+func GoodReturned(p *Pool) *Handle {
+	h := p.Acquire()
+	use(h)
+	return h
+}
+
+// AllowedLeak is a deliberate ownership transfer blessed by a suppression.
+func AllowedLeak(p *Pool) {
+	h := p.Acquire() //lint:allow handle-release — ownership moves to the pool ledger
+	use(h)
+}

@@ -1,0 +1,61 @@
+// Package steadyalloc exercises the steady-alloc rule: nothing reachable
+// from a //lint:steady entry point may allocate.
+package steadyalloc
+
+type ring struct {
+	buf  []int
+	next func()
+}
+
+// Replay is a replay entry point; everything it reaches is audited.
+//
+//lint:steady
+func Replay(r *ring) {
+	step(r)
+}
+
+func step(r *ring) {
+	r.buf = append(r.buf, 1) // want steady-alloc
+	m := map[int]int{}       // want steady-alloc
+	_ = m
+	s := make([]int, 4) // want steady-alloc
+	_ = s
+	r.next = func() {} // want steady-alloc
+	box(1)             // want steady-alloc
+	sink(1, 2)         // want steady-alloc
+	r.buf[0] = 1
+}
+
+func box(v any) { _ = v }
+
+func sink(vs ...int) { _ = vs }
+
+// Bind installs a bound-once replay closure; the literal carries its own
+// steady annotation because closure invocation is not a static edge.
+func Bind(r *ring) {
+	//lint:steady
+	r.next = func() {
+		r.buf = append(r.buf, 4) // want steady-alloc
+	}
+}
+
+// compile is the pool-miss path: reachable from Replay but fenced off.
+//
+//lint:cold
+func compile(r *ring) {
+	r.buf = append(r.buf, 2)
+}
+
+// Refill is not reachable from any steady entry: free to allocate.
+func Refill(r *ring) {
+	r.buf = append(r.buf, 3)
+	compile(r)
+}
+
+// AllowedWarm appends into a pre-sized warm array on the steady path with a
+// justification.
+//
+//lint:steady
+func AllowedWarm(r *ring) {
+	r.buf = append(r.buf, 5) //lint:allow steady-alloc — warm array, capacity pre-sized at compile time
+}

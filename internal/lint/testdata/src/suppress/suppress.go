@@ -1,0 +1,15 @@
+// Package suppress exercises the unused-suppression audit: an //lint:allow
+// whose rule silences nothing at that position is itself a finding.
+package suppress
+
+// Used carries a suppression that really fires: no audit finding.
+func Used() bool {
+	a, b := 0.5, 0.25
+	return a+a == b*2 //lint:allow float-eq — fixture: bit-identity intended
+}
+
+// Unused carries a suppression for a rule that does not fire there.
+func Unused() int {
+	x := 1 //lint:allow float-eq — stale suppression // want unused-suppression
+	return x
+}

@@ -1,0 +1,602 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// tracker is the path-insensitive use/release analysis of one function
+// body. In summary mode (report == nil) it seeds the parameters and fills
+// the function's summary: which parameters are released, which escape, and
+// whether an acquired resource is returned. In report mode it additionally
+// tracks locals bound to acquire-call results and reports leaks,
+// double-releases, and releases of escaped values.
+type tracker struct {
+	a      *analysis
+	n      *funcNode
+	report func(pos token.Pos, format string, args ...any)
+
+	info      *types.Info
+	vars      map[*types.Var]*vstate
+	params    []*types.Var // receiver first, then parameters
+	loopDepth int
+	acquires  bool // an acquired value is returned
+}
+
+// vstate is the abstract lifecycle state of one tracked variable.
+type vstate struct {
+	origin      int // parameter index (receiver = 0), or -1 for acquired local
+	name        string
+	acqPos      token.Pos
+	acqLoop     int // loop depth at acquisition
+	releasedAny bool
+	releasedAll bool
+	escapedHard bool // stored into memory that outlives the function
+	escapedSoft bool // flowed into a local aggregate or an unknown callee
+	returned    bool
+	finalized   bool
+}
+
+func newTracker(a *analysis, n *funcNode, report func(pos token.Pos, format string, args ...any)) *tracker {
+	return &tracker{a: a, n: n, report: report, info: n.pkg.Info, vars: map[*types.Var]*vstate{}}
+}
+
+// run walks the body and, in summary mode, writes the results into the
+// function's summary.
+func (t *tracker) run() {
+	body := t.n.body()
+	if body == nil {
+		return
+	}
+	t.seedParams()
+	t.walkStmts(body.List)
+	for _, v := range t.vars {
+		t.finalize(v)
+	}
+	if t.report == nil {
+		s := t.a.sums[t.n]
+		s.grow(len(t.params))
+		for i, p := range t.params {
+			if v := t.vars[p]; v != nil {
+				s.releases[i] = s.releases[i] || v.releasedAny
+				s.escapes[i] = s.escapes[i] || v.escapedHard
+			}
+		}
+		s.acquires = s.acquires || t.acquires
+	}
+}
+
+// seedParams registers the receiver and parameters as tracked variables.
+func (t *tracker) seedParams() {
+	if t.n.fn == nil {
+		return // literals: free variables belong to the creator's analysis
+	}
+	sig, ok := t.n.fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	add := func(v *types.Var) {
+		idx := len(t.params)
+		t.params = append(t.params, v)
+		if v != nil && v.Name() != "" && v.Name() != "_" {
+			t.vars[v] = &vstate{origin: idx, name: v.Name(), acqPos: v.Pos()}
+		}
+	}
+	if recv := sig.Recv(); recv != nil {
+		add(recv)
+	} else {
+		t.params = append(t.params, nil) // keep arg indexes aligned: 0 = receiver slot
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		add(sig.Params().At(i))
+	}
+}
+
+// lookup resolves an expression to its tracked state via the root
+// identifier (h, h.Fire, &h.field, h[i] all root at h).
+func (t *tracker) lookup(e ast.Expr) *vstate {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	obj := t.info.Uses[id]
+	if obj == nil {
+		obj = t.info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	return t.vars[v]
+}
+
+func (t *tracker) varOf(id *ast.Ident) *types.Var {
+	obj := t.info.Defs[id]
+	if obj == nil {
+		obj = t.info.Uses[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// ---- statement walk ----
+
+func (t *tracker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		t.walkStmt(s)
+	}
+}
+
+func (t *tracker) walkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		t.walkAssign(x)
+	case *ast.ExprStmt:
+		t.walkExprTop(x.X)
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			if v := t.lookup(e); v != nil && unparenIsIdent(e) {
+				v.returned = true
+				if v.origin == -1 {
+					t.acquires = true
+				}
+				continue
+			}
+			if call, ok := unparen(e).(*ast.CallExpr); ok {
+				if t.a.callAcquires(staticCallee(t.info, call)) {
+					t.acquires = true
+				}
+			}
+			t.walkExpr(e)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			t.walkStmt(x.Init)
+		}
+		t.walkExpr(x.Cond)
+		branches := [][]ast.Stmt{x.Body.List}
+		if x.Else != nil {
+			branches = append(branches, []ast.Stmt{x.Else})
+		}
+		t.walkBranches(branches, x.Else != nil)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			t.walkStmt(x.Init)
+		}
+		if x.Tag != nil {
+			t.walkExpr(x.Tag)
+		}
+		t.walkClauses(x.Body)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			t.walkStmt(x.Init)
+		}
+		t.walkClauses(x.Body)
+	case *ast.SelectStmt:
+		t.walkClauses(x.Body)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			t.walkStmt(x.Init)
+		}
+		if x.Cond != nil {
+			t.walkExpr(x.Cond)
+		}
+		t.walkLoopBody(func() {
+			t.walkStmts(x.Body.List)
+			if x.Post != nil {
+				t.walkStmt(x.Post)
+			}
+		})
+	case *ast.RangeStmt:
+		t.walkExpr(x.X)
+		t.walkLoopBody(func() { t.walkStmts(x.Body.List) })
+	case *ast.BlockStmt:
+		t.walkStmts(x.List)
+	case *ast.LabeledStmt:
+		t.walkStmt(x.Stmt)
+	case *ast.DeferStmt:
+		t.walkCall(x.Call, true)
+	case *ast.GoStmt:
+		// Everything handed to a goroutine outlives this activation.
+		for _, arg := range x.Call.Args {
+			t.escape(arg, true)
+		}
+		t.walkExpr(x.Call.Fun)
+	case *ast.SendStmt:
+		t.walkExpr(x.Chan)
+		t.escape(x.Value, true)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						t.bindValue(name, vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		t.walkExpr(x.X)
+	}
+}
+
+func unparenIsIdent(e ast.Expr) bool {
+	_, ok := unparen(e).(*ast.Ident)
+	return ok
+}
+
+// walkClauses processes a switch/select body: each clause is a branch.
+func (t *tracker) walkClauses(body *ast.BlockStmt) {
+	var branches [][]ast.Stmt
+	exhaustive := false
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				t.walkExpr(e)
+			}
+			if cc.List == nil {
+				exhaustive = true // default clause
+			}
+			branches = append(branches, cc.Body)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				t.walkStmt(cc.Comm)
+			} else {
+				exhaustive = true
+			}
+			branches = append(branches, cc.Body)
+		}
+	}
+	t.walkBranches(branches, exhaustive)
+}
+
+// walkBranches runs each branch on a cloned state and joins the results:
+// released-on-any is the union, released-on-all requires every branch (and
+// an exhaustive branch set), escapes are unioned. Variables scoped to one
+// branch are finalized when the branch closes.
+func (t *tracker) walkBranches(branches [][]ast.Stmt, exhaustive bool) {
+	parent := t.vars
+	clones := make([]map[*types.Var]*vstate, len(branches))
+	for i, b := range branches {
+		t.vars = cloneState(parent)
+		t.walkStmts(b)
+		clones[i] = t.vars
+	}
+	t.vars = parent
+	for key, pv := range parent {
+		allReleased := exhaustive && len(branches) > 0
+		for _, cl := range clones {
+			cv := cl[key]
+			if cv == nil {
+				continue
+			}
+			pv.releasedAny = pv.releasedAny || cv.releasedAny
+			pv.escapedHard = pv.escapedHard || cv.escapedHard
+			pv.escapedSoft = pv.escapedSoft || cv.escapedSoft
+			pv.returned = pv.returned || cv.returned
+			if !cv.releasedAll {
+				allReleased = false
+			}
+		}
+		if allReleased {
+			pv.releasedAll = true
+		}
+	}
+	// Finalize variables declared inside a branch.
+	for _, cl := range clones {
+		for key, cv := range cl {
+			if parent[key] == nil {
+				t.finalize(cv)
+			}
+		}
+	}
+}
+
+// walkLoopBody processes a loop body once on a cloned state (a loop may run
+// zero times, so nothing the body does is released-on-all-paths).
+func (t *tracker) walkLoopBody(body func()) {
+	parent := t.vars
+	t.vars = cloneState(parent)
+	t.loopDepth++
+	body()
+	t.loopDepth--
+	clone := t.vars
+	t.vars = parent
+	for key, pv := range parent {
+		if cv := clone[key]; cv != nil {
+			pv.releasedAny = pv.releasedAny || cv.releasedAny
+			pv.escapedHard = pv.escapedHard || cv.escapedHard
+			pv.escapedSoft = pv.escapedSoft || cv.escapedSoft
+			pv.returned = pv.returned || cv.returned
+		}
+	}
+	for key, cv := range clone {
+		if parent[key] == nil {
+			t.finalize(cv)
+		}
+	}
+}
+
+func cloneState(m map[*types.Var]*vstate) map[*types.Var]*vstate {
+	out := make(map[*types.Var]*vstate, len(m))
+	for k, v := range m {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// ---- events ----
+
+// walkAssign handles acquisitions (x := acquire()) and stores of tracked
+// values into longer-lived memory.
+func (t *tracker) walkAssign(as *ast.AssignStmt) {
+	if (as.Tok == token.DEFINE || as.Tok == token.ASSIGN) && len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			t.bindOrStore(as.Lhs[i], as.Rhs[i])
+		}
+		return
+	}
+	// Multi-value assignment: walk everything generically.
+	for _, e := range as.Rhs {
+		t.walkExpr(e)
+	}
+	for _, e := range as.Lhs {
+		if _, ok := unparen(e).(*ast.Ident); !ok {
+			t.walkExpr(e)
+		}
+	}
+}
+
+// bindOrStore routes one lhs = rhs pair.
+func (t *tracker) bindOrStore(lhs, rhs ast.Expr) {
+	if id, ok := unparen(lhs).(*ast.Ident); ok {
+		t.bindValue(id, rhs)
+		return
+	}
+	// Storing into a field, index, or dereference: a tracked rhs escapes.
+	// The store target's root decides how far: locals are soft (the value
+	// may still be reachable for release), anything else is hard.
+	t.walkExpr(rhs)
+	if v := t.lookup(rhs); v != nil && unparenIsIdent(rhs) {
+		t.escapeInto(lhs, v)
+	}
+	t.walkExpr(lhs)
+}
+
+// bindValue handles "id := rhs" / "id = rhs".
+func (t *tracker) bindValue(id *ast.Ident, rhs ast.Expr) {
+	t.walkExpr(rhs)
+	vr := t.varOf(id)
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok && t.a.callAcquires(staticCallee(t.info, call)) {
+		if id.Name == "_" {
+			t.reportf(rhs.Pos(), "acquired %s is discarded: the pooled resource leaks", callName(call))
+			return
+		}
+		if vr == nil {
+			return
+		}
+		if old := t.vars[vr]; old != nil && old.origin == -1 && !old.releasedAny && !old.escapedHard && !old.escapedSoft && !old.returned {
+			t.reportf(old.acqPos, "%s is reassigned before release: the pooled resource leaks", old.name)
+		}
+		t.vars[vr] = &vstate{origin: -1, name: id.Name, acqPos: rhs.Pos(), acqLoop: t.loopDepth}
+		return
+	}
+	// Rebinding a tracked variable to something else forgets the old value
+	// (it flowed elsewhere; treat the overwrite as a soft sink).
+	if vr != nil {
+		if old := t.vars[vr]; old != nil && old.origin == -1 {
+			if !old.releasedAny && !old.escapedHard && !old.escapedSoft && !old.returned {
+				t.reportf(old.acqPos, "%s is reassigned before release: the pooled resource leaks", old.name)
+			}
+			delete(t.vars, vr)
+		}
+	}
+	// A tracked value assigned to another local is an alias: soft.
+	if v := t.lookup(rhs); v != nil && unparenIsIdent(rhs) {
+		v.escapedSoft = true
+	}
+}
+
+// escapeInto marks v escaped according to the store target.
+func (t *tracker) escapeInto(target ast.Expr, v *vstate) {
+	id := rootIdent(target)
+	if id != nil {
+		if tv := t.varOf(id); tv != nil {
+			if st := t.vars[tv]; st == nil && isLocalVar(tv, t.n) {
+				// Plain local aggregate: the value is still reachable here.
+				v.escapedSoft = true
+				return
+			}
+		}
+	}
+	v.escapedHard = true
+}
+
+// isLocalVar reports whether v is declared inside n's body (not a
+// parameter, receiver, field, or package-level variable).
+func isLocalVar(v *types.Var, n *funcNode) bool {
+	if v.IsField() {
+		return false
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return false
+	}
+	body := n.body()
+	return body != nil && v.Pos() >= body.Pos() && v.Pos() <= body.End()
+}
+
+// escape marks the root of e escaped (hard or soft).
+func (t *tracker) escape(e ast.Expr, hard bool) {
+	t.walkExpr(e)
+	if v := t.lookup(e); v != nil {
+		if hard {
+			v.escapedHard = true
+		} else {
+			v.escapedSoft = true
+		}
+	}
+}
+
+// walkExprTop handles a top-level expression statement.
+func (t *tracker) walkExprTop(e ast.Expr) {
+	if call, ok := unparen(e).(*ast.CallExpr); ok {
+		if t.a.callAcquires(staticCallee(t.info, call)) {
+			t.reportf(call.Pos(), "result of %s is dropped: the pooled resource leaks", callName(call))
+		}
+	}
+	t.walkExpr(e)
+}
+
+// walkExpr visits an expression tree, firing call, closure-capture, and
+// address-taken events.
+func (t *tracker) walkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			t.captureFreeVars(x)
+			return false
+		case *ast.CallExpr:
+			t.walkCall(x, false)
+			return false // walkCall recurses into arguments itself
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if v := t.lookup(x.X); v != nil {
+					v.escapedSoft = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if v := t.lookup(val); v != nil && unparenIsIdent(val) {
+					v.escapedHard = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walkCall classifies one call's receiver and arguments against the callee
+// summary: release positions release, escaping positions escape hard,
+// unknown callees sink arguments softly.
+func (t *tracker) walkCall(call *ast.CallExpr, deferred bool) {
+	// Builtin panic aborts the simulation; its arguments are irrelevant to
+	// lifecycle tracking but still walked for nested calls.
+	callee := staticCallee(t.info, call)
+	relIdx := t.a.callReleases(callee)
+	known := t.a.summaryFor(callee) != nil || relIdx >= 0
+
+	// Position 0 is the receiver (when the call is a method call).
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := t.info.Selections[sel]; isSel {
+			t.classifyArg(sel.X, 0, callee, relIdx, known, call, deferred)
+		}
+		t.walkExpr(sel.X)
+	} else {
+		t.walkExpr(call.Fun)
+	}
+	for i, arg := range call.Args {
+		t.classifyArg(arg, i+1, callee, relIdx, known, call, deferred)
+		t.walkExpr(arg)
+	}
+}
+
+func (t *tracker) classifyArg(arg ast.Expr, pos int, callee *types.Func, relIdx int, known bool, call *ast.CallExpr, deferred bool) {
+	v := t.lookup(arg)
+	if v == nil {
+		return
+	}
+	direct := unparenIsIdent(arg)
+	switch {
+	case pos == relIdx && direct:
+		t.releaseEvent(v, call.Pos(), deferred)
+	case t.a.callEscapes(callee, pos):
+		v.escapedHard = true
+	case !known && pos > 0:
+		// Unknown callee (stdlib, dynamic, builtin): the value may be
+		// retained; stop leak tracking without forbidding a later release.
+		v.escapedSoft = true
+	}
+}
+
+// releaseEvent applies one release and reports lifecycle violations.
+func (t *tracker) releaseEvent(v *vstate, pos token.Pos, deferred bool) {
+	switch {
+	case v.releasedAll:
+		t.reportf(pos, "%s is released again after an unconditional release: double-release returns it to the pool twice", v.name)
+	case v.escapedHard:
+		t.reportf(pos, "%s is released after escaping: the stored reference would observe pool reuse", v.name)
+	case t.loopDepth > v.acqLoop && !deferred:
+		t.reportf(pos, "%s is released inside a loop but acquired outside it: iterations after the first double-release", v.name)
+	}
+	v.releasedAny = true
+	v.releasedAll = true
+}
+
+// finalize reports a leak for an acquired local that reached the end of
+// its scope unreleased.
+func (t *tracker) finalize(v *vstate) {
+	if v.finalized {
+		return
+	}
+	v.finalized = true
+	if v.origin != -1 || v.escapedHard || v.escapedSoft || v.returned {
+		return
+	}
+	if !v.releasedAny {
+		t.reportf(v.acqPos, "%s is acquired but never released: the pooled resource leaks", v.name)
+	} else if !v.releasedAll {
+		t.reportf(v.acqPos, "%s is released on some paths but not all: the remaining paths leak", v.name)
+	}
+}
+
+func (t *tracker) reportf(pos token.Pos, format string, args ...any) {
+	if t.report != nil {
+		t.report(pos, format, args...)
+	}
+}
+
+// captureFreeVars marks tracked variables referenced inside a function
+// literal as hard-escaped: the closure may outlive this activation, so the
+// value must not return to the pool while the closure can still see it.
+func (t *tracker) captureFreeVars(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := t.info.Uses[id].(*types.Var); ok {
+			if st := t.vars[v]; st != nil {
+				st.escapedHard = true
+			}
+		}
+		return true
+	})
+}
+
+// callName renders a call target for messages.
+func callName(call *ast.CallExpr) string {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := unparen(f.X).(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -199,6 +199,19 @@ func TestMakeRailPartitionEdgeCases(t *testing.T) {
 			MakeRailPartition(bad, 2, LatDCWire)
 		}()
 	}
+	// A non-positive (or sub-resolution) lookahead would deadlock the
+	// sharded engine's conservative horizon; the constructor must reject it
+	// rather than let it reach ShardedEngine.Connect.
+	for _, bad := range []sim.Time{0, -sim.Microsecond, sim.Nanosecond / 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("lookahead %v should panic", bad)
+				}
+			}()
+			MakeRailPartition([]int{4, 4}, 2, bad)
+		}()
+	}
 }
 
 func TestDCRailPathShardLayoutIndependent(t *testing.T) {

@@ -65,6 +65,9 @@ func MakePartition(nodes, shards int) Partition {
 // list therefore always yields one shard, however many were requested —
 // the single-node-rail degenerate case.
 func MakeRailPartition(seams []int, shards int, lookahead sim.Time) Partition {
+	if lookahead < sim.Nanosecond {
+		panic(fmt.Sprintf("topology: rail partition lookahead %v must be at least 1ns", lookahead))
+	}
 	if len(seams) == 0 {
 		panic("topology: rail partition needs at least one block")
 	}

@@ -126,6 +126,8 @@ func newExecutor(r *Runner, s *schedule) *executor {
 
 // run replays one iteration; done fires (possibly synchronously) when the
 // program completes.
+//
+//lint:steady
 func (ex *executor) run(done func()) {
 	ex.finish = done
 	ex.pc = 0
@@ -227,6 +229,8 @@ func (ex *executor) step() {
 }
 
 // blockDone completes a simple blocking op: trace it if tagged, advance.
+//
+//lint:steady
 func (ex *executor) blockDone() {
 	op := ex.cur
 	if op.traced {
@@ -238,10 +242,13 @@ func (ex *executor) blockDone() {
 
 // waitHop runs as a handle waiter and re-schedules the actual resume at +0 —
 // the exact hop Handle.Wait takes, which keeps event ordering identical.
+//
+//lint:steady
 func (ex *executor) waitHop() {
 	ex.r.cluster.Eng.Schedule(0, ex.waitResumeFn)
 }
 
+//lint:steady
 func (ex *executor) waitResume() {
 	if ex.cur.kind == opWaitSlot {
 		ex.releaseSlot(ex.cur)
@@ -261,6 +268,7 @@ func (ex *executor) releaseSlot(op *schedOp) {
 	}
 }
 
+//lint:steady
 func (ex *executor) nvmeDone() {
 	ex.nvmeLeft--
 	if ex.nvmeLeft > 0 {
@@ -271,6 +279,7 @@ func (ex *executor) nvmeDone() {
 	ex.step()
 }
 
+//lint:steady
 func (ex *executor) multiDone() {
 	ex.multiLeft--
 	if ex.multiLeft > 0 {
@@ -333,6 +342,7 @@ func newAsyncIssue(ex *executor, op *schedOp) *asyncIssue {
 	return is
 }
 
+//lint:steady
 func (is *asyncIssue) start() {
 	ex := is.ex
 	q := &ex.queues[is.op.queue]
@@ -346,6 +356,7 @@ func (is *asyncIssue) start() {
 	is.prev = nil
 }
 
+//lint:steady
 func (is *asyncIssue) fire() {
 	ex := is.ex
 	ex.traceOp(is.op, is.t0, ex.r.cluster.Eng.Now())
@@ -386,20 +397,21 @@ func (fp *flowPool) start() {
 		fp.free[k-1] = nil
 		fp.free = fp.free[:k-1]
 	} else {
-		s = &flowSet{pool: fp, flows: fp.build()}
+		s = &flowSet{pool: fp, flows: fp.build()} //lint:allow steady-alloc — pool miss: first iteration builds the set, replays reuse it
 		s.cb = s.flowDone
 	}
 	s.left = len(s.flows)
 	fp.ex.r.cluster.Net.StartFlows(s.flows, s.cb)
 }
 
+//lint:steady
 func (s *flowSet) flowDone() {
 	s.left--
 	if s.left > 0 {
 		return
 	}
 	fp := s.pool
-	fp.free = append(fp.free, s)
+	fp.free = append(fp.free, s) //lint:allow steady-alloc — free-list push: capacity reaches steady state after the first iteration
 	if fp.blocking {
 		fp.ex.blockDone()
 	}

@@ -361,7 +361,7 @@ func (r *Runner) newQueue(limit float64, rings int) *commQueue {
 // enqueue chains a fire-and-forget collective after the previous operation;
 // its pooled handle recycles automatically.
 func (q *commQueue) enqueue(op collective.Op, payload float64) {
-	q.push(op, payload, false)
+	q.push(op, payload, false) //lint:allow handle-release — fire-and-forget: push retains the handle as q.tail and the successor's start releases it
 }
 
 // enqueueHandle chains a collective and returns its handle for the caller to
