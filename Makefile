@@ -2,7 +2,7 @@ GO ?= go
 # FUZZTIME bounds each fuzz target in fuzz-smoke; CI's nightly job raises it.
 FUZZTIME ?= 10s
 
-.PHONY: check test build vet lint lint-baseline lint-report race fuzz-smoke bench clean
+.PHONY: check test build vet lint lint-baseline lint-report race fuzz-smoke bench serve-smoke clean
 
 ## check: the full correctness gate — vet, build, the simlint determinism &
 ## invariant analysis, the race-enabled test suite, and a short fuzz smoke of
@@ -55,14 +55,23 @@ fuzz-smoke:
 ## (1/2/4 shards at 2/8/16 nodes) in BENCH_sim.json, and the datacenter-
 ## collective grid (flat vs 2-level vs multi-ring × 16/64/256 nodes ×
 ## 1/4/8 shards, with allocs/op pinning the zero-alloc replay) in
-## BENCH_topo.json.
+## BENCH_topo.json, and the serving-layer cold-vs-warm request benchmark
+## (cache miss re-simulates a 64-node fat-tree; cache hit replays the
+## memoized result, with the warm probe pinned at 0 allocs/op) in
+## BENCH_serve.json.
 bench:
 	$(GO) test -run '^$$' -bench 'FabricFairShare|SimEngineEvents|CollectiveAllReduce' -benchmem -json . > BENCH_fabric.json
 	$(GO) test -run '^$$' -bench 'CollectiveReplaySteady|CollectiveRebuildSteady' -benchmem -json . > BENCH_collective.json
 	$(GO) test -run '^$$' -bench 'ScheduleReplaySteady|ScheduleLegacySteady' -benchmem -json ./internal/train > BENCH_train.json
 	$(GO) test -run '^$$' -bench 'ShardedEngineSteady' -benchmem -json ./internal/sim > BENCH_sim.json
 	$(GO) test -run '^$$' -bench 'HierarchicalAllReduce' -benchmem -json ./internal/collective > BENCH_topo.json
-	@grep -oh '"Output":"Benchmark[^"]*' BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json BENCH_topo.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
+	$(GO) test -run '^$$' -bench 'ServeColdRun|ServeWarmRun|ServeWarmSweep|ScenarioCacheWarmGet' -benchmem -json ./cmd/servesim ./internal/scenario > BENCH_serve.json
+	@grep -oh '"Output":"Benchmark[^"]*' BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json BENCH_topo.json BENCH_serve.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
+
+## serve-smoke: boot the servesim daemon, issue one query, probe /stats, and
+## shut it down — the same liveness check CI runs.
+serve-smoke: build
+	./scripts/serve_smoke.sh
 
 clean:
-	rm -f BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json BENCH_topo.json SIMLINT.json
+	rm -f BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json BENCH_topo.json BENCH_serve.json SIMLINT.json

@@ -1,0 +1,53 @@
+// Command servesim is the long-lived what-if service: an HTTP/JSON daemon
+// answering single-run and sweep queries from the warm-artifact scenario
+// cache. The batch CLIs (bwchar, sweep, whatif) pay the cold cost of every
+// configuration they touch and then exit, discarding the compiled topologies,
+// collective plans, schedules and memoized results; servesim keeps them hot,
+// so a repeated or near-identical query costs a cache probe instead of a
+// simulation.
+//
+// Endpoints:
+//
+//	POST /run    {"strategy":"zero3","nodes":2,"layers":16,...}
+//	             → the run's JSON summary, byte-identical to the batch CLIs.
+//	POST /sweep  {"strategy":"zero2","sizes":"0.7,1.4,max",...}
+//	             → a JSON summary array, byte-identical to `sweep -json`;
+//	             with ?stream=1, newline-delimited summaries flushed
+//	             progressively in sweep order as points complete.
+//	GET  /stats  → cache-tier counters (hits, misses, evictions,
+//	             invalidations) and the concurrency bound.
+//
+// Identical in-flight requests coalesce onto one underlying simulation
+// (singleflight in the result tier), and concurrently running simulations are
+// bounded by -parallel.
+//
+// Usage:
+//
+//	servesim -addr 127.0.0.1:8080 -parallel 8 -cache 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+
+	"llmbw/internal/runner"
+	"llmbw/internal/train"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "maximum simulations running concurrently; 1 serializes")
+	cacheCap := flag.Int("cache", train.DefaultRunCacheCap, "result cache entry cap (LRU beyond it); <=0 unbounded")
+	flag.Parse()
+
+	train.SetRunCacheCap(*cacheCap)
+	srv := newServer(runner.ClampParallel(*parallel))
+	fmt.Printf("servesim listening on %s (parallel=%d, cache=%d)\n", *addr, srv.parallel, *cacheCap)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "servesim:", err)
+		os.Exit(1)
+	}
+}

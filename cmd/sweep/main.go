@@ -12,8 +12,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 
 	"llmbw/internal/memory"
 	"llmbw/internal/model"
@@ -74,7 +72,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	layerCounts, err := parseSizes(*sizesArg, maxLayers)
+	layerCounts, err := model.ParseSizes(*sizesArg, maxLayers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
@@ -149,28 +147,4 @@ func applyTopo(base *train.Config, topo, algo string, nodesSet bool) error {
 		base.Nodes = 0 // adopt the spec's node count
 	}
 	return nil
-}
-
-// parseSizes converts the -sizes argument (comma-separated billions of
-// parameters, or "max" for the largest fit) into layer counts, preserving
-// argument order — the sweep table renders rows in exactly this order, so
-// the output for a given command line is reproducible.
-func parseSizes(arg string, maxLayers int) ([]int, error) {
-	var layerCounts []int
-	for _, tok := range strings.Split(arg, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
-		}
-		if tok == "max" {
-			layerCounts = append(layerCounts, maxLayers)
-			continue
-		}
-		b, err := strconv.ParseFloat(tok, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad size %q: %v", tok, err)
-		}
-		layerCounts = append(layerCounts, model.LayersForParams(int64(b*1e9)))
-	}
-	return layerCounts, nil
 }

@@ -13,9 +13,11 @@ import (
 // TestParseSizesOrderStable: the sweep's serialized table renders rows in
 // layerCounts order, so parsing must preserve the argument order exactly —
 // part of the ordered-map-emit audit of this command (its lookup maps are
-// only ever indexed, never ranged).
+// only ever indexed, never ranged). The parser itself lives in
+// internal/model (shared with cmd/servesim); this pins the contract at the
+// sweep call site.
 func TestParseSizesOrderStable(t *testing.T) {
-	got, err := parseSizes("1.4, 0.7,max,,2.9", 99)
+	got, err := model.ParseSizes("1.4, 0.7,max,,2.9", 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +31,7 @@ func TestParseSizesOrderStable(t *testing.T) {
 		t.Errorf("parseSizes = %v, want %v", got, want)
 	}
 	// Parsing twice yields identical slices (no hidden map state).
-	again, err := parseSizes("1.4, 0.7,max,,2.9", 99)
+	again, err := model.ParseSizes("1.4, 0.7,max,,2.9", 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func TestParseSizesOrderStable(t *testing.T) {
 }
 
 func TestParseSizesRejectsGarbage(t *testing.T) {
-	if _, err := parseSizes("1.4,banana", 10); err == nil {
+	if _, err := model.ParseSizes("1.4,banana", 10); err == nil {
 		t.Fatal("expected error for non-numeric size")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"llmbw/internal/fabric"
+	"llmbw/internal/scenario"
 	"llmbw/internal/sim"
 	"llmbw/internal/topology"
 )
@@ -275,31 +276,120 @@ func (g *DCGroup) RunNode(p *sim.Proc, op Op, payload float64, node int) {
 	p.Await(func(resume func()) { g.StartNode(op, payload, node, resume) })
 }
 
+// hierShape is the cluster-independent part of a compiled hierarchical plan:
+// phase volumes, the ring's pipeline-fill latency, and every rendered flow
+// and leg name. It is a pure function of (algo, op, topology spec, payload) —
+// nothing in it references links, engines or capacities — so one shape is
+// shared read-only by every cluster's plan of that signature and cached
+// across runs. Binding a shape to a live cluster (paths, handoffs, stream
+// caps, closures) stays per-plan: those parts hold capacity-coupled state
+// that the fabric revalidates in place via its capEpoch fence.
+type hierShape struct {
+	crossWire        float64
+	crossLat         sim.Time
+	preVol, postVol  float64
+	preName, posName []string   // per node ("" when the phase is absent)
+	legName          [][]string // per node, per rail
+}
+
+// flatShape is the flat twin's portable part: the per-leg wire volume, ring
+// count, step latency and flow names (in addLeg order: per node, rail 0 then
+// rail 1 when dual-ring).
+type flatShape struct {
+	wire    float64
+	rings   int
+	stepLat sim.Time
+	name    []string
+}
+
+// shapeCache is the collective tier of the warm-artifact store, keyed by
+// (algo|op|spec|payload). Shapes are capacity-independent: epoch 0.
+var shapeCache = scenario.New("collective.shapes", 256)
+
+func makeHierShape(algo Algo, op Op, cfg topology.DCConfig, payload float64) *hierShape {
+	n := cfg.Nodes
+	rails := cfg.Rails
+	gpus := topology.GPUsPerNode
+
+	sh := &hierShape{crossWire: WireBytesPerHop(op, n, payload) / float64(rails)}
+	steps := Steps(op, n)
+	if algo == AlgoTwoLevel {
+		if o, ok := preOp(op); ok {
+			sh.preVol = WireBytesPerHop(o, gpus, payload)
+			steps += Steps(o, gpus)
+		}
+		if o, ok := postOp(op); ok {
+			sh.postVol = WireBytesPerHop(o, gpus, payload)
+			steps += Steps(o, gpus)
+		}
+	}
+	sh.crossLat = sim.Time(steps) * topology.LatNCCLStep
+	sh.preName = make([]string, n)
+	sh.posName = make([]string, n)
+	sh.legName = make([][]string, n)
+	for i := 0; i < n; i++ {
+		if sh.preVol > 0 {
+			sh.preName[i] = fmt.Sprintf("%s/%v/n%d/pre", algo, op, i)
+		}
+		if sh.postVol > 0 {
+			sh.posName[i] = fmt.Sprintf("%s/%v/n%d/post", algo, op, i)
+		}
+		legs := make([]string, rails)
+		for r := 0; r < rails; r++ {
+			legs[r] = fmt.Sprintf("%s/%v/n%d/r%d", algo, op, i, r)
+		}
+		sh.legName[i] = legs
+	}
+	return sh
+}
+
+func makeFlatShape(op Op, cfg topology.DCConfig, payload float64) *flatShape {
+	n := cfg.Nodes
+	rings := 2
+	if cfg.Rails < 2 {
+		rings = 1
+	}
+	sh := &flatShape{
+		wire:    WireBytesPerHop(op, n, payload) / float64(rings),
+		rings:   rings,
+		stepLat: sim.Time(Steps(op, n)) * topology.LatNCCLStep,
+	}
+	for i := 0; i < n; i++ {
+		sh.name = append(sh.name, fmt.Sprintf("flat/%v/n%d/r0", op, i))
+		if rings == 2 {
+			sh.name = append(sh.name, fmt.Sprintf("flat/%v/n%d/r1", op, i))
+		}
+	}
+	return sh
+}
+
+// shapeFor fetches (computing on first use) the portable shape of one plan
+// signature through the shape cache.
+func (g *DCGroup) shapeFor(op Op, payload float64) any {
+	cfg := g.sc.Cfg
+	key := scenario.Intern(fmt.Sprintf("%v|%v|%s|%g", g.algo, op, cfg.Spec(), payload))
+	v, _ := shapeCache.Do(key, 0, func() (any, error) {
+		if g.algo == AlgoFlat {
+			return makeFlatShape(op, cfg, payload), nil
+		}
+		return makeHierShape(g.algo, op, cfg, payload), nil
+	})
+	return v
+}
+
 // compileHier builds the 2-level / multi-ring plan: per node, an optional
 // NVSwitch pre-flow, one outbound handoff leg per rail to the ring
 // successor, and an optional NVSwitch post-flow. Volumes are the textbook
 // ring costs: the cross-node phase carries WireBytesPerHop(op, N, V) per
 // node pair, striped evenly over the rails; 2-level adds the intra-node
-// reduce-scatter/all-gather phases on the payload.
+// reduce-scatter/all-gather phases on the payload. The volumes, latency and
+// names come from the cached shape; this function only binds them to the
+// live cluster.
 func (g *DCGroup) compileHier(op Op, payload float64) dcPlan {
 	sc := g.sc
 	n := sc.Nodes()
 	rails := sc.Cfg.Rails
-	gpus := topology.GPUsPerNode
-
-	crossWire := WireBytesPerHop(op, n, payload) / float64(rails)
-	steps := Steps(op, n)
-	var preVol, postVol float64
-	if g.algo == AlgoTwoLevel {
-		if o, ok := preOp(op); ok {
-			preVol = WireBytesPerHop(o, gpus, payload)
-			steps += Steps(o, gpus)
-		}
-		if o, ok := postOp(op); ok {
-			postVol = WireBytesPerHop(o, gpus, payload)
-			steps += Steps(o, gpus)
-		}
-	}
+	sh := g.shapeFor(op, payload).(*hierShape)
 
 	plan := dcPlan{nodes: make([]*dcNode, n)}
 	for i := 0; i < n; i++ {
@@ -309,25 +399,25 @@ func (g *DCGroup) compileHier(op Op, payload float64) dcPlan {
 			eng:      sc.EngineOf(i),
 			net:      grp.Net,
 			node:     i,
-			hasPre:   preVol > 0,
-			hasPost:  postVol > 0,
+			hasPre:   sh.preVol > 0,
+			hasPost:  sh.postVol > 0,
 			expect:   rails,
-			crossLat: sim.Time(steps) * topology.LatNCCLStep,
+			crossLat: sh.crossLat,
 		}
 	}
 	for i, rec := range plan.nodes {
 		nv := sc.NVFabric(i)
 		if rec.hasPre {
 			rec.prePath = []*fabric.Link{nv}
-			rec.pre.Name = fmt.Sprintf("%s/%v/n%d/pre", g.algo, op, i)
+			rec.pre.Name = sh.preName[i]
 			rec.pre.Path = rec.prePath
-			rec.pre.Bytes = preVol
+			rec.pre.Bytes = sh.preVol
 		}
 		if rec.hasPost {
 			rec.posPath = []*fabric.Link{nv}
-			rec.post.Name = fmt.Sprintf("%s/%v/n%d/post", g.algo, op, i)
+			rec.post.Name = sh.posName[i]
 			rec.post.Path = rec.posPath
-			rec.post.Bytes = postVol
+			rec.post.Bytes = sh.postVol
 		}
 		succ := (i + 1) % n
 		succRec := plan.nodes[succ]
@@ -337,8 +427,8 @@ func (g *DCGroup) compileHier(op Op, payload float64) dcPlan {
 			src, dst, extra := sc.RailPath(i, succ, r)
 			rec.legs = append(rec.legs, dcLeg{
 				h:        sc.Handoff(i, succ),
-				name:     fmt.Sprintf("%s/%v/n%d/r%d", g.algo, op, i, r),
-				bytes:    crossWire,
+				name:     sh.legName[i][r],
+				bytes:    sh.crossWire,
 				extra:    extra,
 				srcCap:   fabric.NewPathCap(grp.Net, DCStreamFraction, src),
 				dstCap:   fabric.NewPathCap(succGrp.Net, DCStreamFraction, dst),
@@ -411,11 +501,8 @@ func (rec *dcNode) maybeCross() {
 func (g *DCGroup) compileFlat(op Op, payload float64) dcPlan {
 	sc := g.sc
 	n := sc.Nodes()
-	rings := 2
-	if sc.Cfg.Rails < 2 {
-		rings = 1
-	}
-	wire := WireBytesPerHop(op, n, payload) / float64(rings)
+	sh := g.shapeFor(op, payload).(*flatShape)
+	rings := sh.rings
 
 	grp := sc.Groups[0]
 	join := &flatJoin{
@@ -437,8 +524,8 @@ func (g *DCGroup) compileFlat(op Op, payload float64) dcPlan {
 		join.paths = append(join.paths, path)
 		join.caps = append(join.caps, fabric.NewPathCap(grp.Net, DCStreamFraction, path))
 		join.flows = append(join.flows, fabric.Flow{
-			Name:  fmt.Sprintf("flat/%v/n%d/r%d", op, from, rail),
-			Bytes: wire,
+			Name:  sh.name[len(join.flows)],
+			Bytes: sh.wire,
 		})
 	}
 	for i := 0; i < n; i++ {
@@ -450,7 +537,7 @@ func (g *DCGroup) compileFlat(op Op, payload float64) dcPlan {
 	for j := range join.flows {
 		join.flows[j].Path = join.paths[j]
 	}
-	join.latency = sim.Time(Steps(op, n))*topology.LatNCCLStep + maxExtra
+	join.latency = sh.stepLat + maxExtra
 	join.flowCB = func() {
 		join.remaining--
 		if join.remaining == 0 {

@@ -289,6 +289,7 @@ func DefaultConfig() Config {
 		"no-wallclock": {Include: []string{
 			"llmbw/internal/sim", "llmbw/internal/fabric",
 			"llmbw/internal/train", "llmbw/internal/runner",
+			"llmbw/internal/scenario",
 		}},
 		// Everything that serializes output must iterate maps in a sorted
 		// order, or goldens stop being byte-identical.
@@ -297,7 +298,7 @@ func DefaultConfig() Config {
 			"llmbw/internal/trace", "llmbw/internal/telemetry",
 			"llmbw/internal/whatif", "llmbw/internal/stress",
 			"llmbw/internal/topology", "llmbw/internal/collective",
-			"llmbw/cmd/...",
+			"llmbw/internal/scenario", "llmbw/cmd/...",
 		}},
 		// Exact float equality is only meaningful against constants; two
 		// computed values need an epsilon (or an allow comment arguing why
@@ -363,6 +364,7 @@ func DefaultConfig() Config {
 		"steady-alloc": {Include: []string{
 			"llmbw/internal/sim", "llmbw/internal/fabric",
 			"llmbw/internal/collective", "llmbw/internal/train",
+			"llmbw/internal/scenario",
 		}},
 		// Conservative PDES merge order and handoff wire hops rely on
 		// strictly positive lookahead; a zero reaching Connect or NewHandoff

@@ -1,0 +1,32 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSizes converts a comma-separated model-size list (billions of
+// parameters, or "max" for the largest fit, empty tokens skipped) into layer
+// counts, preserving argument order — sweep tables and streamed sweep
+// responses render rows in exactly this order, so the output for a given
+// size list is reproducible. Shared by cmd/sweep and cmd/servesim.
+func ParseSizes(arg string, maxLayers int) ([]int, error) {
+	var layerCounts []int
+	for _, tok := range strings.Split(arg, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if tok == "max" {
+			layerCounts = append(layerCounts, maxLayers)
+			continue
+		}
+		b, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %v", tok, err)
+		}
+		layerCounts = append(layerCounts, LayersForParams(int64(b*1e9)))
+	}
+	return layerCounts, nil
+}

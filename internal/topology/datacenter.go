@@ -240,23 +240,30 @@ type DCCluster struct {
 	all    []*fabric.Link
 }
 
-// buildDC wires a DC link graph onto eng. cfg must be validated and have
-// defaults applied.
-func buildDC(eng *sim.Engine, cfg DCConfig) *DCCluster {
-	dc := &DCCluster{Cfg: cfg, Eng: eng, Net: fabric.NewNetwork(eng)}
-	mk := func(name string, class fabric.Class, node int, bw float64) *fabric.Link {
-		l := fabric.NewLink(name, class, node, bw, cfg.Window)
-		dc.all = append(dc.all, l)
-		return l
-	}
+// dcNames is the precomputed link-name table of one sub-fabric build: all the
+// fmt.Sprintf work of naming a fabric's links (≈6k strings at 1024 nodes),
+// rendered once per blueprint and shared by every cluster instantiated from
+// it. Indices mirror the DCCluster link tables.
+type dcNames struct {
+	nv     []string   // [local node]
+	nic    [][]string // [local node][rail]
+	up     [][]string // [local pod][rail], fat-tree
+	down   [][]string // [local pod][rail], fat-tree
+	global [][]string // [local pod][global dest pod], dragonfly ("" at self)
+}
+
+// dcNamesFor renders the link-name table of a sub-fabric. cfg must be
+// validated and have defaults applied.
+func dcNamesFor(cfg DCConfig) *dcNames {
+	nm := &dcNames{}
 	for n := 0; n < cfg.Nodes; n++ {
 		gn := cfg.FirstNode + n
-		dc.nv = append(dc.nv, mk(fmt.Sprintf("dc%d/nv", gn), fabric.NVLink, gn, cfg.NVBW))
-		var nics []*fabric.Link
+		nm.nv = append(nm.nv, fmt.Sprintf("dc%d/nv", gn))
+		var nics []string
 		for r := 0; r < cfg.Rails; r++ {
-			nics = append(nics, mk(fmt.Sprintf("dc%d/nic%d", gn, r), fabric.RoCE, gn, cfg.NICBW))
+			nics = append(nics, fmt.Sprintf("dc%d/nic%d", gn, r))
 		}
-		dc.nic = append(dc.nic, nics)
+		nm.nic = append(nm.nic, nics)
 	}
 	pods := (cfg.Nodes + cfg.PodSize - 1) / cfg.PodSize
 	totalPods := cfg.TotalPods
@@ -265,31 +272,77 @@ func buildDC(eng *sim.Engine, cfg DCConfig) *DCCluster {
 	}
 	switch cfg.Kind {
 	case FatTree:
-		// Trunks exist only when there is more than one global pod —
-		// a single-pod fat-tree is just its leaf tier.
 		if totalPods == 1 {
 			break
 		}
-		trunkBW := float64(cfg.PodSize) * cfg.NICBW / cfg.Oversub
 		for p := 0; p < pods; p++ {
 			gp := cfg.FirstPod + p
+			var ups, downs []string
+			for r := 0; r < cfg.Rails; r++ {
+				ups = append(ups, fmt.Sprintf("pod%d/up%d", gp, r))
+				downs = append(downs, fmt.Sprintf("pod%d/down%d", gp, r))
+			}
+			nm.up = append(nm.up, ups)
+			nm.down = append(nm.down, downs)
+		}
+	case Dragonfly:
+		for p := 0; p < pods; p++ {
+			gp := cfg.FirstPod + p
+			row := make([]string, totalPods)
+			for q := 0; q < totalPods; q++ {
+				if q != gp {
+					row[q] = fmt.Sprintf("g%d>g%d/opt", gp, q)
+				}
+			}
+			nm.global = append(nm.global, row)
+		}
+	}
+	return nm
+}
+
+// buildDC wires a DC link graph onto eng. cfg must be validated and have
+// defaults applied.
+func buildDC(eng *sim.Engine, cfg DCConfig) *DCCluster {
+	return buildDCNamed(eng, cfg, dcNamesFor(cfg))
+}
+
+// buildDCNamed wires a DC link graph onto eng using a precomputed name table
+// (the blueprint fast path: link construction without any string rendering).
+func buildDCNamed(eng *sim.Engine, cfg DCConfig, nm *dcNames) *DCCluster {
+	dc := &DCCluster{Cfg: cfg, Eng: eng, Net: fabric.NewNetwork(eng)}
+	mk := func(name string, class fabric.Class, node int, bw float64) *fabric.Link {
+		l := fabric.NewLink(name, class, node, bw, cfg.Window)
+		dc.all = append(dc.all, l)
+		return l
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		gn := cfg.FirstNode + n
+		dc.nv = append(dc.nv, mk(nm.nv[n], fabric.NVLink, gn, cfg.NVBW))
+		var nics []*fabric.Link
+		for r := 0; r < cfg.Rails; r++ {
+			nics = append(nics, mk(nm.nic[n][r], fabric.RoCE, gn, cfg.NICBW))
+		}
+		dc.nic = append(dc.nic, nics)
+	}
+	switch cfg.Kind {
+	case FatTree:
+		trunkBW := float64(cfg.PodSize) * cfg.NICBW / cfg.Oversub
+		for p := range nm.up {
 			var ups, downs []*fabric.Link
 			for r := 0; r < cfg.Rails; r++ {
-				ups = append(ups, mk(fmt.Sprintf("pod%d/up%d", gp, r), fabric.Uplink, -1, trunkBW))
-				downs = append(downs, mk(fmt.Sprintf("pod%d/down%d", gp, r), fabric.Uplink, -1, trunkBW))
+				ups = append(ups, mk(nm.up[p][r], fabric.Uplink, -1, trunkBW))
+				downs = append(downs, mk(nm.down[p][r], fabric.Uplink, -1, trunkBW))
 			}
 			dc.up = append(dc.up, ups)
 			dc.down = append(dc.down, downs)
 		}
 	case Dragonfly:
-		for p := 0; p < pods; p++ {
-			gp := cfg.FirstPod + p
-			row := make([]*fabric.Link, totalPods)
-			for q := 0; q < totalPods; q++ {
-				if q == gp {
-					continue
+		for p := range nm.global {
+			row := make([]*fabric.Link, len(nm.global[p]))
+			for q, name := range nm.global[p] {
+				if name != "" {
+					row[q] = mk(name, fabric.Uplink, -1, cfg.GlobalBW)
 				}
-				row[q] = mk(fmt.Sprintf("g%d>g%d/opt", gp, q), fabric.Uplink, -1, cfg.GlobalBW)
 			}
 			dc.global = append(dc.global, row)
 		}
@@ -372,33 +425,14 @@ func dcPodOf(cfg DCConfig) []int {
 // NewDCSharded partitions the fabric over shards sub-engines along pod
 // seams (MakeRailPartition over Seams), so every pod trunk and node link
 // lands in exactly one shard's fair-share domain. The shard count is clamped
-// to the pod count.
+// to the pod count. The partition and link naming come from the cached
+// blueprint (DCBlueprintFor); engines and links are always fresh.
 func NewDCSharded(cfg DCConfig, shards int) (*DCShardedCluster, error) {
-	if err := cfg.Validate(); err != nil {
+	bp, err := DCBlueprintFor(cfg, shards, false)
+	if err != nil {
 		return nil, err
 	}
-	cfg = cfg.WithDefaults()
-	part := MakeRailPartition(cfg.Seams(), shards, LatDCWire)
-	se := sim.NewSharded(part.Shards)
-	for i := 0; i < part.Shards; i++ {
-		for j := 0; j < part.Shards; j++ {
-			if i != j {
-				se.Connect(i, j, part.Lookahead)
-			}
-		}
-	}
-	sc := &DCShardedCluster{Cfg: cfg, Part: part, Eng: se, podOf: dcPodOf(cfg)}
-	totalPods := cfg.Pods()
-	for s := 0; s < part.Shards; s++ {
-		sub := cfg
-		sub.Nodes = part.Counts[s]
-		sub.FirstNode = part.First[s]
-		sub.FirstPod = part.First[s] / cfg.PodSize
-		sub.TotalPods = totalPods
-		sc.Groups = append(sc.Groups, buildDC(se.Shard(s), sub))
-	}
-	sc.connectHandoffs()
-	return sc, nil
+	return bp.Build(), nil
 }
 
 // NewDCColocated builds the whole fabric on shard 0 of a sharded engine with
@@ -408,28 +442,11 @@ func NewDCSharded(cfg DCConfig, shards int) (*DCShardedCluster, error) {
 // is invariant in shards, which keeps the -shards knob byte-identical for
 // flat runs just as train.Config.Shards is for the testbed cluster.
 func NewDCColocated(cfg DCConfig, shards int) (*DCShardedCluster, error) {
-	if err := cfg.Validate(); err != nil {
+	bp, err := DCBlueprintFor(cfg, shards, true)
+	if err != nil {
 		return nil, err
 	}
-	cfg = cfg.WithDefaults()
-	if shards < 1 {
-		shards = 1
-	}
-	se := sim.NewSharded(shards)
-	part := Partition{
-		Nodes:     cfg.Nodes,
-		Shards:    1,
-		Of:        make([]int, cfg.Nodes),
-		First:     []int{0},
-		Counts:    []int{cfg.Nodes},
-		Lookahead: LatDCWire,
-	}
-	sc := &DCShardedCluster{Cfg: cfg, Part: part, Eng: se, podOf: dcPodOf(cfg), colocated: true}
-	sub := cfg
-	sub.TotalPods = cfg.Pods()
-	sc.Groups = []*DCCluster{buildDC(se.Shard(0), sub)}
-	sc.connectHandoffs()
-	return sc, nil
+	return bp.Build(), nil
 }
 
 func (sc *DCShardedCluster) connectHandoffs() {

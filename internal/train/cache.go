@@ -2,9 +2,9 @@ package train
 
 import (
 	"fmt"
-	"sync"
 
 	"llmbw/internal/collective"
+	"llmbw/internal/scenario"
 	"llmbw/internal/topology"
 )
 
@@ -13,19 +13,26 @@ import (
 // the simulator is deterministic, so a repeated Run is pure waste. RunCached
 // memoizes Run results keyed by a canonical rendering of the configuration.
 // Entries are computed at most once even when parallel experiment workers
-// request the same configuration concurrently.
-var runCache sync.Map // canonical config key -> *runCacheEntry
+// request the same configuration concurrently (the cache's singleflight), and
+// the tier is bounded: beyond the entry cap the least-recently-used results
+// are evicted. Eviction only drops the cache's reference — a *Result already
+// returned to a caller stays valid (results are immutable by contract), and a
+// later identical request simply recomputes.
+//
+// DefaultRunCacheCap bounds the resident results. A Result for a dc-scale
+// topology is dominated by its Summary and per-window telemetry — small
+// relative to the simulation that produced it — so the default is sized for
+// the largest sweeps in the experiment suite rather than for memory pressure.
+const DefaultRunCacheCap = 512
 
-type runCacheEntry struct {
-	once sync.Once
-	res  *Result
-	err  error
-}
+var runCache = scenario.New("train.results", DefaultRunCacheCap)
 
-// cacheKey returns a canonical key for the configuration, or ok=false when
-// the configuration cannot be cached (a FaultInjection hook is opaque: two
-// configs with different hooks would collide).
-func (c Config) cacheKey() (string, bool) {
+// ScenarioKey returns the canonical interned scenario key for the
+// configuration, or ok=false when the configuration cannot be keyed (a
+// FaultInjection hook is opaque: two configs with different hooks would
+// collide; an unparsable Topo/Algo cannot be canonicalized). The key is the
+// identity used by the result cache and by cmd/servesim's request coalescing.
+func (c Config) ScenarioKey() (string, bool) {
 	if c.FaultInjection != nil {
 		return "", false
 	}
@@ -51,11 +58,14 @@ func (c Config) cacheKey() (string, bool) {
 		}
 		algo = collective.EffectiveAlgo(a).String()
 	}
-	return fmt.Sprintf("s%d o%d n%d m%+v tp%d pp%d b%d P{%s} i%d w%d ck%d tr%t win%d pb%t roce%g xbar%g rw%d sh%d topo{%s} algo{%s}",
+	return scenario.Intern(fmt.Sprintf("s%d o%d n%d m%+v tp%d pp%d b%d P{%s} i%d w%d ck%d tr%t win%d pb%t roce%g xbar%g rw%d sh%d topo{%s} algo{%s}",
 		c.Strategy, c.Offload, c.Nodes, c.Model, c.TensorParallel, c.PipelineParallel,
 		c.BatchPerGPU, placement, c.Iterations, c.Warmup, c.CheckpointEvery,
-		c.Trace, int64(c.Window), c.PurposeBuilt, c.RoCEBW, c.XbarBW, c.Rewrite, c.Shards, topo, algo), true
+		c.Trace, int64(c.Window), c.PurposeBuilt, c.RoCEBW, c.XbarBW, c.Rewrite, c.Shards, topo, algo)), true
 }
+
+// cacheKey is the historical internal name for ScenarioKey.
+func (c Config) cacheKey() (string, bool) { return c.ScenarioKey() }
 
 // RunCached executes the configuration, reusing the Result of an identical
 // earlier run in this process. Results are deterministic functions of the
@@ -63,21 +73,31 @@ func (c Config) cacheKey() (string, bool) {
 // one *Result across experiments is safe. Configurations with fault
 // injection hooks fall through to a plain Run.
 func RunCached(cfg Config) (*Result, error) {
-	key, ok := cfg.cacheKey()
+	key, ok := cfg.ScenarioKey()
 	if !ok {
 		return Run(cfg)
 	}
-	v, _ := runCache.LoadOrStore(key, &runCacheEntry{})
-	e := v.(*runCacheEntry)
-	e.once.Do(func() { e.res, e.err = Run(cfg) })
-	return e.res, e.err
+	v, err := runCache.Do(key, 0, func() (any, error) {
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result), nil
 }
+
+// RunCacheStats snapshots the result tier's counters for stats probes.
+func RunCacheStats() scenario.Stats { return runCache.Stats() }
+
+// SetRunCacheCap rebounds the result tier (entries beyond the new cap are
+// evicted immediately, least-recently-used first); cap <= 0 removes the
+// bound. cmd/servesim exposes this as -cache.
+func SetRunCacheCap(capacity int) { runCache.SetCap(capacity) }
 
 // ResetRunCache drops all memoized results. Tests use it to force fresh
 // simulations when comparing independent executions.
-func ResetRunCache() {
-	runCache.Range(func(k, _ any) bool {
-		runCache.Delete(k)
-		return true
-	})
-}
+func ResetRunCache() { runCache.Reset() }

@@ -5,6 +5,7 @@ import (
 
 	"llmbw/internal/collective"
 	"llmbw/internal/memory"
+	"llmbw/internal/scenario"
 	"llmbw/internal/sim"
 	"llmbw/internal/topology"
 	"llmbw/internal/trace"
@@ -15,6 +16,44 @@ import (
 // list of schedule.go. Every emit mirrors one legacy call in the same program
 // order with the same precomputed operands, which is what lets the executor
 // replay the exact event sequence of the coroutine path.
+
+// scheduleCache is the compiled-program tier of the warm-artifact store. A
+// non-hybrid schedule is a pure function of the configuration slice keyed
+// below — every op's durations come from the global GPU/CPU models and every
+// operand is a precomputed number — and the executor never writes through the
+// shared op list (all mutable replay state lives in the executor), so one
+// compiled program serves every run and every concurrent runner of the same
+// shape. Hybrid schedules embed cluster-bound groups and routes and are
+// compiled per run.
+var scheduleCache = scenario.New("train.schedules", 256)
+
+// scheduleKey returns the canonical key of the compiled iteration schedule,
+// or ok=false when the schedule is not shareable across runs (hybrid
+// pipeline schedules bind *collective.Group and topology.Route values of one
+// specific cluster into their ops).
+func (r *Runner) scheduleKey() (string, bool) {
+	c := r.cfg
+	if c.Strategy == Megatron && c.PipelineParallel > 1 {
+		return "", false
+	}
+	return scenario.Intern(fmt.Sprintf("sched s%d o%d n%d m%+v tp%d pp%d b%d rw%d",
+		c.Strategy, c.Offload, c.Nodes, c.Model, c.TensorParallel,
+		c.PipelineParallel, c.BatchPerGPU, c.Rewrite)), true
+}
+
+// iterationSchedule returns the compiled per-iteration program, fetching
+// shareable shapes through the schedule cache so sweep points with the same
+// strategy/model/world skip recompilation.
+func (r *Runner) iterationSchedule() *schedule {
+	key, ok := r.scheduleKey()
+	if !ok {
+		return r.compileIteration()
+	}
+	v, _ := scheduleCache.Do(key, 0, func() (any, error) {
+		return r.compileIteration(), nil
+	})
+	return v.(*schedule)
+}
 
 // compileIteration lowers the configured strategy into its per-iteration
 // schedule and applies the configured rewrite.

@@ -25,7 +25,7 @@ import (
 // the schedule and executor on first use.
 func (r *Runner) runCompiled(p *sim.Proc) {
 	if r.exec == nil {
-		r.exec = newExecutor(r, r.compileIteration())
+		r.exec = newExecutor(r, r.iterationSchedule())
 		r.waiter = sim.NewWaiter(p)
 	}
 	r.exec.run(r.waiter.DoneFunc())

@@ -36,7 +36,10 @@ func runCfg(cfg train.Config) (*train.Result, error) {
 	if cfg.Model.Layers == 0 {
 		cfg.Model = model.NewGPT(cfg.Profile().MaxLayers(model.DefaultBatchSize, topology.GPUsPerNode))
 	}
-	return train.Run(cfg)
+	// Sweep points repeat across studies (the same base run anchors several
+	// figures) and cmd/servesim replays them; the result tier dedupes all of
+	// it. Fault-injection configs fall through to a plain Run inside.
+	return train.RunCached(cfg)
 }
 
 // RoCEBandwidthSweep measures dual-node throughput versus per-NIC Ethernet
@@ -306,7 +309,7 @@ func DegradedNICStudy(fraction float64, degradeAfter sim.Time) (nominal, degrade
 	base := train.Config{Strategy: train.ZeRO3, Nodes: 2, Iterations: 3, Warmup: 1}
 	g := model.NewGPT(base.Profile().MaxLayers(model.DefaultBatchSize, topology.GPUsPerNode))
 	base.Model = g
-	res, err := train.Run(base)
+	res, err := train.RunCached(base)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,0 +1,34 @@
+#!/bin/sh
+# serve_smoke.sh boots the servesim daemon on a throwaway port, issues one
+# /run query, checks that /stats reports the result tier, and shuts the
+# daemon down. Exercised by `make serve-smoke` and the CI serve-smoke job.
+set -eu
+
+ADDR="127.0.0.1:18080"
+go build -o /tmp/servesim ./cmd/servesim
+/tmp/servesim -addr "$ADDR" -parallel 2 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the listener (up to ~5s).
+i=0
+until curl -sf "http://$ADDR/stats" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] && { echo "serve-smoke: daemon never came up" >&2; exit 1; }
+	sleep 0.1
+done
+
+RUN=$(curl -sf -X POST "http://$ADDR/run" \
+	-d '{"strategy":"ddp","layers":2,"iterations":1,"warmup":1}')
+echo "$RUN" | grep -q '"attained_tflops"' || {
+	echo "serve-smoke: /run response missing summary fields: $RUN" >&2
+	exit 1
+}
+
+STATS=$(curl -sf "http://$ADDR/stats")
+echo "$STATS" | grep -q '"train.results"' || {
+	echo "serve-smoke: /stats missing the result tier: $STATS" >&2
+	exit 1
+}
+
+echo "serve-smoke: ok"
