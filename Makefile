@@ -57,15 +57,16 @@ fuzz-smoke:
 ## 1/4/8 shards, with allocs/op pinning the zero-alloc replay) in
 ## BENCH_topo.json, and the serving-layer cold-vs-warm request benchmark
 ## (cache miss re-simulates a 64-node fat-tree; cache hit replays the
-## memoized result, with the warm probe pinned at 0 allocs/op) in
-## BENCH_serve.json.
+## memoized result, with the warm probe pinned at 0 allocs/op) together
+## with the inference decode-step replay benchmark (ServeDecodeSteady,
+## the serving layer's zero-alloc steady loop) in BENCH_serve.json.
 bench:
 	$(GO) test -run '^$$' -bench 'FabricFairShare|SimEngineEvents|CollectiveAllReduce' -benchmem -json . > BENCH_fabric.json
 	$(GO) test -run '^$$' -bench 'CollectiveReplaySteady|CollectiveRebuildSteady' -benchmem -json . > BENCH_collective.json
 	$(GO) test -run '^$$' -bench 'ScheduleReplaySteady|ScheduleLegacySteady' -benchmem -json ./internal/train > BENCH_train.json
 	$(GO) test -run '^$$' -bench 'ShardedEngineSteady' -benchmem -json ./internal/sim > BENCH_sim.json
 	$(GO) test -run '^$$' -bench 'HierarchicalAllReduce' -benchmem -json ./internal/collective > BENCH_topo.json
-	$(GO) test -run '^$$' -bench 'ServeColdRun|ServeWarmRun|ServeWarmSweep|ScenarioCacheWarmGet' -benchmem -json ./cmd/servesim ./internal/scenario > BENCH_serve.json
+	$(GO) test -run '^$$' -bench 'ServeColdRun|ServeWarmRun|ServeWarmSweep|ScenarioCacheWarmGet|ServeDecodeSteady' -benchmem -json ./cmd/servesim ./internal/scenario ./internal/serve > BENCH_serve.json
 	@grep -oh '"Output":"Benchmark[^"]*' BENCH_fabric.json BENCH_collective.json BENCH_train.json BENCH_sim.json BENCH_topo.json BENCH_serve.json | grep -o 'Benchmark[A-Za-z]*' | sort -u
 
 ## serve-smoke: boot the servesim daemon, issue one query, probe /stats, and

@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 
 	"llmbw/internal/memory"
 	"llmbw/internal/model"
 	"llmbw/internal/runner"
 	"llmbw/internal/scenario"
+	"llmbw/internal/serve"
+	"llmbw/internal/sim"
 	"llmbw/internal/train"
 )
 
@@ -31,6 +34,7 @@ type server struct {
 	mux      *http.ServeMux
 	sem      chan struct{}
 	parallel int
+	draining atomic.Bool // set when shutdown has begun; flips /healthz
 }
 
 // newServer builds the handler. parallel must be >= 1 (callers clamp via
@@ -40,7 +44,9 @@ func newServer(parallel int) *server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/serve", s.handleServe)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
 
@@ -265,6 +271,118 @@ func (fw flushWriter) Write(p []byte) (int, error) {
 	n, err := fw.w.Write(p)
 	fw.f.Flush()
 	return n, err
+}
+
+// serveRequest is the JSON query shape of POST /serve. Unset fields take the
+// canonical serving scenario's defaults (serve.Config.withDefaults).
+type serveRequest struct {
+	Layers         int              `json:"layers"`
+	SizeB          float64          `json:"size_b"`
+	TensorParallel int              `json:"tp"`
+	Nodes          int              `json:"nodes"`
+	Disaggregated  bool             `json:"disaggregated"`
+	Topo           string           `json:"topo"`
+	Arrival        string           `json:"arrival"`
+	RatePerSec     float64          `json:"rate_per_sec"`
+	Concurrency    int              `json:"concurrency"`
+	Requests       int              `json:"requests"`
+	Warmup         int              `json:"warmup"`
+	PromptTokens   int              `json:"prompt_tokens"`
+	DecodeTokens   int              `json:"decode_tokens"`
+	MaxBatch       int              `json:"max_batch"`
+	Seed           uint64           `json:"seed"`
+	Trace          []serve.TraceReq `json:"trace"`
+	SLOTTFTMs      float64          `json:"slo_ttft_ms"`
+	SLOTBTMs       float64          `json:"slo_tbt_ms"`
+	Shards         int              `json:"shards"`
+	RoCEBW         float64          `json:"roce_bw"`
+	NICBW          float64          `json:"nic_bw"`
+}
+
+// config translates the request into a serve.Config.
+func (req *serveRequest) config() (serve.Config, error) {
+	arr, err := serve.ParseArrival(req.Arrival)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	var g model.GPT
+	switch {
+	case req.Layers > 0:
+		g = model.NewGPT(req.Layers)
+	case req.SizeB > 0:
+		g = model.NewGPT(model.LayersForParams(int64(req.SizeB * 1e9)))
+	}
+	return serve.Config{
+		Model:          g,
+		TensorParallel: req.TensorParallel,
+		Nodes:          req.Nodes,
+		Disaggregated:  req.Disaggregated,
+		Topo:           req.Topo,
+		Arrival:        arr,
+		RatePerSec:     req.RatePerSec,
+		Concurrency:    req.Concurrency,
+		Requests:       req.Requests,
+		Warmup:         req.Warmup,
+		PromptTokens:   req.PromptTokens,
+		DecodeTokens:   req.DecodeTokens,
+		MaxBatch:       req.MaxBatch,
+		Seed:           req.Seed,
+		Trace:          req.Trace,
+		SLOTTFT:        sim.Time(req.SLOTTFTMs * float64(sim.Millisecond)),
+		SLOTBT:         sim.Time(req.SLOTBTMs * float64(sim.Millisecond)),
+		Shards:         req.Shards,
+		RoCEBW:         req.RoCEBW,
+		NICBW:          req.NICBW,
+	}, nil
+}
+
+// handleServe answers one inference-serving scenario with its latency and
+// goodput summary (serve.Result.WriteJSON). With ?log=1 the response is the
+// per-request NDJSON log instead — the byte-stable artifact the determinism
+// harness diffs.
+func (s *server) handleServe(w http.ResponseWriter, r *http.Request) {
+	var req serveRequest
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg, err := req.config()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.acquire()
+	res, err := serve.RunCached(cfg)
+	s.release()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if r.URL.Query().Get("log") == "1" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		res.WriteRequestLog(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	res.WriteJSON(w)
+}
+
+// handleHealthz is the liveness/readiness probe: 200 while serving, 503 once
+// shutdown has begun (so load balancers stop routing during the drain).
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
 }
 
 // statsResponse is the /stats probe payload.

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"llmbw/internal/model"
+	"llmbw/internal/serve"
 	"llmbw/internal/train"
 )
 
@@ -215,6 +216,9 @@ func TestStatsProbe(t *testing.T) {
 	if code, body := post(t, ts, "/run", `{"strategy":"ddp","layers":2,"iterations":1,"warmup":1}`); code != http.StatusOK {
 		t.Fatalf("warm-up /run = %d: %s", code, body)
 	}
+	if code, body := post(t, ts, "/serve", serveBody); code != http.StatusOK {
+		t.Fatalf("warm-up /serve = %d: %s", code, body)
+	}
 	resp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -234,7 +238,7 @@ func TestStatsProbe(t *testing.T) {
 			t.Errorf("stats tiers unsorted: %q before %q", stats.Caches[i-1].Name, c.Name)
 		}
 	}
-	for _, want := range []string{"train.results", "train.schedules", "topology.blueprints", "collective.shapes"} {
+	for _, want := range []string{"train.results", "serve.results", "train.schedules", "topology.blueprints", "collective.shapes"} {
 		if !tiers[want] {
 			t.Errorf("stats missing tier %q (have %v)", want, tiers)
 		}
@@ -268,5 +272,111 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /run = %d, want 405", resp.StatusCode)
+	}
+}
+
+// serveBody is the fixed serving scenario the /serve tests query.
+const serveBody = `{"requests":16,"rate_per_sec":16,"prompt_tokens":256,"decode_tokens":16,"max_batch":8}`
+
+// TestServeGolden pins the /serve response bytes for a fixed scenario.
+func TestServeGolden(t *testing.T) {
+	ts := httptest.NewServer(newServer(2))
+	defer ts.Close()
+	code, body := post(t, ts, "/serve", serveBody)
+	if code != http.StatusOK {
+		t.Fatalf("/serve = %d: %s", code, body)
+	}
+	checkGolden(t, "serve_colocated.golden", body)
+}
+
+// TestServeMatchesLibrary: a /serve response is byte-identical to what
+// serve.RunCached + Result.WriteJSON produce for the same scenario.
+func TestServeMatchesLibrary(t *testing.T) {
+	ts := httptest.NewServer(newServer(2))
+	defer ts.Close()
+	code, body := post(t, ts, "/serve", serveBody)
+	if code != http.StatusOK {
+		t.Fatalf("/serve = %d: %s", code, body)
+	}
+	res, err := serve.RunCached(serve.Config{
+		Requests: 16, RatePerSec: 16, PromptTokens: 256, DecodeTokens: 16, MaxBatch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Errorf("servesim /serve diverges from the library emitter.\nserve:\n%s\nlib:\n%s", body, want.Bytes())
+	}
+}
+
+// TestServeRequestLog: ?log=1 returns the per-request NDJSON log, one line
+// per simulated request.
+func TestServeRequestLog(t *testing.T) {
+	ts := httptest.NewServer(newServer(2))
+	defer ts.Close()
+	code, body := post(t, ts, "/serve?log=1", serveBody)
+	if code != http.StatusOK {
+		t.Fatalf("/serve?log=1 = %d: %s", code, body)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("request log has %d lines, want 16", len(lines))
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		if _, ok := rec["ttft_ns"]; !ok {
+			t.Fatalf("log line missing ttft_ns: %q", line)
+		}
+	}
+}
+
+// TestServeBadRequests pins the /serve error surface.
+func TestServeBadRequests(t *testing.T) {
+	ts := httptest.NewServer(newServer(1))
+	defer ts.Close()
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"arrival":"carrier-pigeon"}`, http.StatusBadRequest},
+		{`{"tp":9}`, http.StatusUnprocessableEntity},
+		{`{"topo":"mesh:nodes=8"}`, http.StatusUnprocessableEntity},
+		{`{"disaggregated":true,"nodes":1}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		if code, body := post(t, ts, "/serve", tc.body); code != tc.want {
+			t.Errorf("POST /serve %s = %d, want %d (%s)", tc.body, code, tc.want, body)
+		}
+	}
+}
+
+// TestHealthz: 200 while serving, 503 once the drain flag is up.
+func TestHealthz(t *testing.T) {
+	srv := newServer(1)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	get := func() (int, string) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get(); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz = %d %q, want 200 ok", code, body)
+	}
+	srv.draining.Store(true)
+	if code, _ := get(); code != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz = %d, want 503", code)
 	}
 }

@@ -39,6 +39,11 @@ const (
 	// per EPYC 7763 socket, calibrated against the ZeRO-Offload
 	// consolidation throughput (paper Fig 11-a).
 	CPUAdamParamsPerSec = 1.5e9
+	// SustainedBWEff is the sustained fraction of peak HBM bandwidth a
+	// streaming kernel attains (the gap between the datasheet number and
+	// what a real weight/KV sweep achieves). Memory-bound inference decode
+	// runs at this, not at peak.
+	SustainedBWEff = 0.82
 )
 
 // GPUModel converts FLOP counts into kernel times.
@@ -80,6 +85,31 @@ func (g GPUModel) KernelTime(flops float64) sim.Time {
 		return g.LaunchOverhead
 	}
 	sec := flops / (g.PeakFLOPs * g.Efficiency(flops))
+	return sim.Seconds(sec) + g.LaunchOverhead
+}
+
+// SustainedHBMBW returns the sustained HBM streaming bandwidth (bytes/s).
+func (g GPUModel) SustainedHBMBW() float64 { return g.HBMBW * SustainedBWEff }
+
+// RooflineTime returns wall time for a kernel that executes flops and
+// streams bytes through HBM: the slower of the compute-limited time (at the
+// GEMM efficiency curve) and the memory-limited time (at sustained
+// bandwidth), plus launch overhead. This is the serving-side timing model:
+// prefill lands on the compute side of the roofline, single-token decode on
+// the memory side.
+func (g GPUModel) RooflineTime(flops, bytes float64) sim.Time {
+	if flops < 0 || bytes < 0 {
+		panic(fmt.Sprintf("compute: negative roofline operands %g/%g", flops, bytes))
+	}
+	var sec float64
+	if flops > 0 {
+		sec = flops / (g.PeakFLOPs * g.Efficiency(flops))
+	}
+	if bytes > 0 {
+		if mem := bytes / g.SustainedHBMBW(); mem > sec {
+			sec = mem
+		}
+	}
 	return sim.Seconds(sec) + g.LaunchOverhead
 }
 

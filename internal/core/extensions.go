@@ -111,5 +111,8 @@ func Extensions() []Experiment {
 		{"ext-railonly", "What-if: rail-only vs fat-tree datacenter fabrics", func(w io.Writer, opt Options) error {
 			return whatif.RailOnlyReport(w, opt.Algo, opt.Shards, opt.Topo)
 		}},
+		{"ext-serve", "What-if: inference serving goodput vs load and bandwidth", func(w io.Writer, opt Options) error {
+			return whatif.ServingReport(w)
+		}},
 	}
 }

@@ -15,7 +15,7 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
 // or latency model shows up here as a diff; regenerate intentionally with
 // `go test ./internal/core -run Golden -update-golden`.
 func TestGoldenOutputs(t *testing.T) {
-	for _, id := range []string{"fig2", "fig3", "fig6", "fig14", "table1", "table3", "ext-railonly"} {
+	for _, id := range []string{"fig2", "fig3", "fig6", "fig14", "table1", "table3", "ext-railonly", "ext-serve"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			e, err := Get(id)

@@ -289,7 +289,8 @@ func DefaultConfig() Config {
 		"no-wallclock": {Include: []string{
 			"llmbw/internal/sim", "llmbw/internal/fabric",
 			"llmbw/internal/train", "llmbw/internal/runner",
-			"llmbw/internal/scenario",
+			"llmbw/internal/scenario", "llmbw/internal/schedule",
+			"llmbw/internal/serve",
 		}},
 		// Everything that serializes output must iterate maps in a sorted
 		// order, or goldens stop being byte-identical.
@@ -298,7 +299,8 @@ func DefaultConfig() Config {
 			"llmbw/internal/trace", "llmbw/internal/telemetry",
 			"llmbw/internal/whatif", "llmbw/internal/stress",
 			"llmbw/internal/topology", "llmbw/internal/collective",
-			"llmbw/internal/scenario", "llmbw/cmd/...",
+			"llmbw/internal/scenario", "llmbw/internal/serve",
+			"llmbw/cmd/...",
 		}},
 		// Exact float equality is only meaningful against constants; two
 		// computed values need an epsilon (or an allow comment arguing why
@@ -306,18 +308,18 @@ func DefaultConfig() Config {
 		"float-eq": {},
 		// The fabric recycles solver scratch and completion events, the
 		// collective layer recycles compiled plans and handles, and the
-		// train executor recycles compiled-schedule op records and flow
-		// sets; handing a pooled pointer across the exported API would let
+		// schedule executor recycles flow sets and stream issue records;
+		// handing a pooled pointer across the exported API would let
 		// callers observe reuse. Each type name binds in its own package's
 		// scope only. The deliberate hand-offs (pooled Handles with a
 		// documented Release contract) carry allow comments.
 		"scratch-escape": {
 			Include: []string{
 				"llmbw/internal/fabric", "llmbw/internal/collective",
-				"llmbw/internal/train",
+				"llmbw/internal/schedule", "llmbw/internal/serve",
 			},
 			Options: map[string]string{
-				"types": "completionEvent,Plan,Handle,schedule,schedOp,flowSet,asyncIssue,handoffXfer",
+				"types": "completionEvent,Plan,Handle,flowSet,asyncIssue,handoffXfer",
 			},
 		},
 		// Only internal/runner is allowed to coordinate real goroutines;
@@ -331,7 +333,8 @@ func DefaultConfig() Config {
 		"handle-release": {
 			Include: []string{
 				"llmbw/internal/collective", "llmbw/internal/fabric",
-				"llmbw/internal/train",
+				"llmbw/internal/train", "llmbw/internal/schedule",
+				"llmbw/internal/serve",
 			},
 			Options: map[string]string{
 				"acquire": "llmbw/internal/collective.Group.NewHandle," +
@@ -364,7 +367,8 @@ func DefaultConfig() Config {
 		"steady-alloc": {Include: []string{
 			"llmbw/internal/sim", "llmbw/internal/fabric",
 			"llmbw/internal/collective", "llmbw/internal/train",
-			"llmbw/internal/scenario",
+			"llmbw/internal/scenario", "llmbw/internal/schedule",
+			"llmbw/internal/serve",
 		}},
 		// Conservative PDES merge order and handoff wire hops rely on
 		// strictly positive lookahead; a zero reaching Connect or NewHandoff

@@ -247,5 +247,34 @@ func (p Profile) MaxModel(batch, gpusPerNode int) model.GPT {
 	return model.NewGPT(l)
 }
 
+// KVBytesPerToken returns the FP16 KV-cache footprint of one token across
+// all layers: a key and a value vector of Hidden elements per layer. This is
+// the unit of inference-serving memory pressure — KV residency per GPU is
+// this divided by the tensor-parallel degree.
+func KVBytesPerToken(g model.GPT) float64 {
+	return 2 * model.FP16Bytes * float64(g.Hidden) * float64(g.Layers)
+}
+
+// ServeWeightBytesPerGPU returns the FP16 inference weight image resident on
+// each GPU of a tensor-parallel group of degree tp (no gradients, no
+// optimizer states — serving keeps only the parameters).
+func ServeWeightBytesPerGPU(g model.GPT, tp int) float64 {
+	if tp < 1 {
+		tp = 1
+	}
+	return 2 * float64(g.Params()) / float64(tp)
+}
+
+// ServeKVCapacityPerGPU returns the KV-cache bytes available on each GPU
+// after the weight image and the runtime overheads are resident, clamped at
+// zero when the model itself does not fit.
+func ServeKVCapacityPerGPU(g model.GPT, tp int) float64 {
+	free := GPUMemBytes - GPUOverheadBytes - BucketBytes - ServeWeightBytesPerGPU(g, tp)
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
 // roundUp is a helper for sanity checks in tests.
 func roundUp(x float64) int64 { return int64(math.Ceil(x)) }

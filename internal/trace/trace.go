@@ -118,6 +118,10 @@ const (
 	PhaseBackward
 	PhaseOptimizer
 	PhasePrefetch
+	// Serving phases (internal/serve): the prompt pass and the token
+	// generation loop of an inference request.
+	PhasePrefill
+	PhaseDecode
 )
 
 // String returns the phase label used in exported traces.
@@ -133,6 +137,10 @@ func (p Phase) String() string {
 		return "optimizer"
 	case PhasePrefetch:
 		return "prefetch"
+	case PhasePrefill:
+		return "prefill"
+	case PhaseDecode:
+		return "decode"
 	}
 	return ""
 }

@@ -6,16 +6,17 @@ import (
 	"llmbw/internal/collective"
 	"llmbw/internal/memory"
 	"llmbw/internal/scenario"
+	"llmbw/internal/schedule"
 	"llmbw/internal/sim"
 	"llmbw/internal/topology"
 	"llmbw/internal/trace"
 )
 
 // This file is the schedule compiler: each strategy's imperative iteration
-// (strategies.go / hybrid.go) expressed as a one-time lowering into the op
-// list of schedule.go. Every emit mirrors one legacy call in the same program
-// order with the same precomputed operands, which is what lets the executor
-// replay the exact event sequence of the coroutine path.
+// (strategies.go / hybrid.go) expressed as a one-time lowering into the
+// internal/schedule op vocabulary. Every emit mirrors one legacy call in the
+// same program order with the same precomputed operands, which is what lets
+// the executor replay the exact event sequence of the coroutine path.
 
 // scheduleCache is the compiled-program tier of the warm-artifact store. A
 // non-hybrid schedule is a pure function of the configuration slice keyed
@@ -44,7 +45,7 @@ func (r *Runner) scheduleKey() (string, bool) {
 // iterationSchedule returns the compiled per-iteration program, fetching
 // shareable shapes through the schedule cache so sweep points with the same
 // strategy/model/world skip recompilation.
-func (r *Runner) iterationSchedule() *schedule {
+func (r *Runner) iterationSchedule() *schedule.Schedule {
 	key, ok := r.scheduleKey()
 	if !ok {
 		return r.compileIteration()
@@ -52,14 +53,14 @@ func (r *Runner) iterationSchedule() *schedule {
 	v, _ := scheduleCache.Do(key, 0, func() (any, error) {
 		return r.compileIteration(), nil
 	})
-	return v.(*schedule)
+	return v.(*schedule.Schedule)
 }
 
 // compileIteration lowers the configured strategy into its per-iteration
 // schedule and applies the configured rewrite.
-func (r *Runner) compileIteration() *schedule {
-	b := &schedBuilder{r: r, s: &schedule{}}
-	b.phase = trace.PhaseData
+func (r *Runner) compileIteration() *schedule.Schedule {
+	b := &schedBuilder{r: r, Builder: schedule.NewBuilder()}
+	b.Phase = trace.PhaseData
 	b.stage()
 	switch r.cfg.Strategy {
 	case DDP:
@@ -79,73 +80,57 @@ func (r *Runner) compileIteration() *schedule {
 	default:
 		panic(fmt.Sprintf("train: unknown strategy %v", r.cfg.Strategy))
 	}
-	return b.s.apply(r.cfg.Rewrite)
+	return b.S.Apply(r.cfg.Rewrite)
 }
 
-// schedBuilder accumulates ops; emits inherit the builder's current phase.
+// schedBuilder layers the strategies' domain helpers (FLOP→duration
+// conversion, offload/NVMe policies, chunking) over the generic schedule
+// builder; emits inherit the builder's current Phase.
 type schedBuilder struct {
-	r     *Runner
-	s     *schedule
-	phase trace.Phase
+	*schedule.Builder
+	r *Runner
 }
 
-func (b *schedBuilder) emit(op schedOp) {
-	op.phase = b.phase
-	b.s.ops = append(b.s.ops, op)
-}
-
-func (b *schedBuilder) stage() { b.emit(schedOp{kind: opStageBatch}) }
+func (b *schedBuilder) stage() { b.Flows() }
 
 func (b *schedBuilder) compute(tk trace.Kind, flops float64) {
-	b.emit(schedOp{kind: opCompute, tk: tk, traced: true, dur: b.r.gpu.KernelTime(flops)})
+	b.Compute(tk, b.r.gpu.KernelTime(flops))
 }
 
 func (b *schedBuilder) gpuAdam(params int64) {
-	b.emit(schedOp{kind: opCompute, tk: trace.WeightUpdate, traced: true, dur: b.r.gpu.AdamTime(params)})
+	b.Compute(trace.WeightUpdate, b.r.gpu.AdamTime(params))
 }
 
-func (b *schedBuilder) overhead(d sim.Time) { b.emit(schedOp{kind: opOverhead, dur: d}) }
+func (b *schedBuilder) overhead(d sim.Time) { b.Overhead(d) }
 
-func (b *schedBuilder) alloc(bytes float64) { b.emit(schedOp{kind: opMemAlloc, bytes: bytes}) }
+func (b *schedBuilder) alloc(bytes float64) { b.Alloc(bytes) }
 
-func (b *schedBuilder) free(bytes float64) { b.emit(schedOp{kind: opMemFree, bytes: bytes}) }
+func (b *schedBuilder) free(bytes float64) { b.Free(bytes) }
 
 func (b *schedBuilder) sync(op collective.Op, payload, limit float64, rings int) {
-	b.emit(schedOp{kind: opCollective, col: op, tk: traceKind(op), traced: true,
-		payload: payload, limit: limit, rings: int8(rings)})
+	b.Sync(op, payload, limit, rings)
 }
 
 func (b *schedBuilder) syncOn(g *collective.Group, op collective.Op, payload float64) {
-	b.emit(schedOp{kind: opCollective, col: op, group: g, tk: traceKind(op), traced: true,
-		payload: payload, rings: 2})
+	b.SyncOn(g, op, payload, 0, 2)
 }
 
-func (b *schedBuilder) newQueue(limit float64, rings int) int8 {
-	b.s.queues = append(b.s.queues, queueSpec{limit: limit, rings: int8(rings)})
-	return int8(len(b.s.queues) - 1)
-}
+func (b *schedBuilder) newQueue(limit float64, rings int) int8 { return b.NewQueue(limit, rings) }
 
 func (b *schedBuilder) enqueue(q int8, op collective.Op, payload float64) {
-	b.emit(schedOp{kind: opEnqueue, queue: q, col: op, tk: traceKind(op), traced: true,
-		payload: payload, slot: -1})
+	b.Enqueue(q, op, payload)
 }
 
 func (b *schedBuilder) enqueueSlot(q int8, op collective.Op, payload float64) int16 {
-	slot := int16(b.s.slots)
-	b.s.slots++
-	b.emit(schedOp{kind: opEnqueue, queue: q, col: op, tk: traceKind(op), traced: true,
-		payload: payload, slot: slot})
-	return slot
+	return b.EnqueueSlot(q, op, payload)
 }
 
-func (b *schedBuilder) waitSlot(q int8, slot int16) {
-	b.emit(schedOp{kind: opWaitSlot, queue: q, slot: slot})
-}
+func (b *schedBuilder) waitSlot(q int8, slot int16) { b.WaitSlot(q, slot) }
 
-func (b *schedBuilder) barrier(q int8) { b.emit(schedOp{kind: opBarrier, queue: q}) }
+func (b *schedBuilder) barrier(q int8) { b.Barrier(q) }
 
 func (b *schedBuilder) offload(bytesPerRank float64) {
-	b.emit(schedOp{kind: opOffloadXfer, tk: trace.OffloadCopy, traced: true, bytes: bytesPerRank})
+	b.Xfer(trace.OffloadCopy, bytesPerRank)
 }
 
 func (b *schedBuilder) hostAdam(params int64) {
@@ -154,7 +139,7 @@ func (b *schedBuilder) hostAdam(params int64) {
 		// The legacy hostAdam emits nothing for an empty step.
 		return
 	}
-	b.emit(schedOp{kind: opCPUAdamStep, tk: trace.CPUAdam, traced: true, dur: d, params: params})
+	b.Paced(trace.CPUAdam, d, params)
 }
 
 func (b *schedBuilder) nvme(bytesPerRank float64, write bool) {
@@ -162,7 +147,7 @@ func (b *schedBuilder) nvme(bytesPerRank float64, write bool) {
 		// Mirrors nvmeIO's early return.
 		return
 	}
-	b.emit(schedOp{kind: opNVMeIO, tk: trace.NVMeIO, traced: true, bytes: bytesPerRank, write: write})
+	b.NVMe(trace.NVMeIO, bytesPerRank, write)
 }
 
 func (b *schedBuilder) stageAllReduce(groups []*collective.Group, payload float64) {
@@ -170,8 +155,7 @@ func (b *schedBuilder) stageAllReduce(groups []*collective.Group, payload float6
 		b.syncOn(groups[0], collective.AllReduce, payload)
 		return
 	}
-	b.emit(schedOp{kind: opStageAllReduce, tk: trace.NCCLAllReduce, traced: true,
-		groups: groups, payload: payload})
+	b.Multi(collective.AllReduce, groups, payload, 0, 2)
 }
 
 func (b *schedBuilder) boundary(routes []topology.Route, bytes float64) {
@@ -179,8 +163,7 @@ func (b *schedBuilder) boundary(routes []topology.Route, bytes float64) {
 		// Mirrors sendBoundaries' early return.
 		return
 	}
-	b.emit(schedOp{kind: opBoundaryXfer, tk: trace.OffloadCopy, traced: true,
-		routes: routes, bytes: bytes})
+	b.RouteXfer(trace.OffloadCopy, routes, bytes)
 }
 
 // z1Collective expands the ZeRO-1 fused-buffer chunk loop at compile time:
@@ -227,7 +210,7 @@ func (b *schedBuilder) optimizer() {
 		b.hostAdam(part)
 		b.offload(partBytes) // updated FP16 params back up
 	case memory.NVMeOptimizer, memory.NVMeOptimizerAndParams:
-		b.offload(partBytes)          // gradients to host
+		b.offload(partBytes)            // gradients to host
 		b.nvme(12*float64(part), false) // read optimizer partition
 		b.hostAdam(part)
 		b.nvme(12*float64(part), true) // write optimizer partition
@@ -243,11 +226,11 @@ func (b *schedBuilder) compileDDP() {
 	r := b.r
 	g := r.cfg.Model
 	bt := r.cfg.BatchPerGPU
-	b.phase = trace.PhaseForward
+	b.Phase = trace.PhaseForward
 	b.forward(1)
 
 	q := b.newQueue(0, 2)
-	b.phase = trace.PhaseBackward
+	b.Phase = trace.PhaseBackward
 	b.compute(trace.Gemm, 2*g.HeadForwardFLOPs(bt))
 	b.free(r.headActivationBytes())
 	b.alloc(r.recomputeWorkingSet())
@@ -260,7 +243,7 @@ func (b *schedBuilder) compileDDP() {
 	}
 	b.free(r.recomputeWorkingSet())
 	b.barrier(q)
-	b.phase = trace.PhaseOptimizer
+	b.Phase = trace.PhaseOptimizer
 	b.gpuAdam(g.Params())
 }
 
@@ -273,7 +256,7 @@ func (b *schedBuilder) compileMegatron() {
 
 	layerF := g.LayerForwardFLOPs(bt) / float64(mp)
 	for micro := 0; micro < mp; micro++ {
-		b.phase = trace.PhaseForward
+		b.Phase = trace.PhaseForward
 		for l := 0; l < g.Layers; l++ {
 			b.compute(trace.Gemm, layerF)
 			b.alloc(r.layerActivationBytes())
@@ -284,7 +267,7 @@ func (b *schedBuilder) compileMegatron() {
 		b.alloc(r.headActivationBytes())
 		b.sync(collective.AllReduce, actBytes, 0, 2)
 
-		b.phase = trace.PhaseBackward
+		b.Phase = trace.PhaseBackward
 		for l := 0; l < g.Layers; l++ {
 			b.compute(trace.Gemm, 2*layerF)
 			b.free(r.layerActivationBytes())
@@ -294,7 +277,7 @@ func (b *schedBuilder) compileMegatron() {
 		b.compute(trace.Gemm, 2*g.HeadForwardFLOPs(bt)/float64(mp))
 		b.free(r.headActivationBytes())
 	}
-	b.phase = trace.PhaseOptimizer
+	b.Phase = trace.PhaseOptimizer
 	b.gpuAdam(g.Params() / int64(mp))
 }
 
@@ -302,9 +285,9 @@ func (b *schedBuilder) compileZeRO1() {
 	r := b.r
 	g := r.cfg.Model
 	bt := r.cfg.BatchPerGPU
-	b.phase = trace.PhaseForward
+	b.Phase = trace.PhaseForward
 	b.forward(1)
-	b.phase = trace.PhaseBackward
+	b.Phase = trace.PhaseBackward
 	b.compute(trace.Gemm, 2*g.HeadForwardFLOPs(bt))
 	b.free(r.headActivationBytes())
 	b.alloc(r.recomputeWorkingSet())
@@ -313,7 +296,7 @@ func (b *schedBuilder) compileZeRO1() {
 		b.free(float64(k) * r.layerActivationBytes())
 	}
 	b.free(r.recomputeWorkingSet())
-	b.phase = trace.PhaseOptimizer
+	b.Phase = trace.PhaseOptimizer
 	b.z1Collective(collective.ReduceScatter, r.gradBytes)
 	b.optimizer()
 	b.z1Collective(collective.AllGather, r.paramBytes)
@@ -323,12 +306,12 @@ func (b *schedBuilder) compileZeRO2() {
 	r := b.r
 	g := r.cfg.Model
 	bt := r.cfg.BatchPerGPU
-	b.phase = trace.PhaseForward
+	b.Phase = trace.PhaseForward
 	b.forward(1)
 
 	overlap := r.cfg.Nodes == 1
 	q := b.newQueue(0, 1)
-	b.phase = trace.PhaseBackward
+	b.Phase = trace.PhaseBackward
 	b.compute(trace.Gemm, 2*g.HeadForwardFLOPs(bt))
 	b.free(r.headActivationBytes())
 	b.alloc(r.recomputeWorkingSet())
@@ -347,7 +330,7 @@ func (b *schedBuilder) compileZeRO2() {
 	} else {
 		b.sync(collective.ReduceScatter, r.gradBytes, 0, 1)
 	}
-	b.phase = trace.PhaseOptimizer
+	b.Phase = trace.PhaseOptimizer
 	b.optimizer()
 	b.sync(collective.AllGather, r.paramBytes, 0, 1)
 }
@@ -369,48 +352,48 @@ func (b *schedBuilder) compileZeRO3() {
 	if r.cfg.Offload == memory.NVMeOptimizerAndParams {
 		// Parameters start on NVMe: each rank stages its shard up before the
 		// gathers can run.
-		b.phase = trace.PhasePrefetch
+		b.Phase = trace.PhasePrefetch
 		b.nvme(r.paramBytes/float64(r.cfg.WorldSize()), false)
 	}
 
 	q := b.newQueue(0, 1)
 	slots := make([]int16, len(gr))
-	b.phase = trace.PhasePrefetch
+	b.Phase = trace.PhasePrefetch
 	slots[0] = b.enqueueSlot(q, collective.AllGather, groupBytes(0))
 	for i := range gr {
 		if i+1 < len(gr) {
-			b.phase = trace.PhasePrefetch
+			b.Phase = trace.PhasePrefetch
 			slots[i+1] = b.enqueueSlot(q, collective.AllGather, groupBytes(i+1))
 		}
-		b.phase = trace.PhaseForward
+		b.Phase = trace.PhaseForward
 		b.waitSlot(q, slots[i])
 		b.overhead(r.zero3Overhead() * sim.Time(gr[i]))
 		b.compute(trace.Gemm, g.LayerForwardFLOPs(bt)*float64(gr[i]))
 		b.alloc(float64(gr[i]) * r.layerActivationBytes())
 	}
-	b.phase = trace.PhaseForward
+	b.Phase = trace.PhaseForward
 	b.compute(trace.Gemm, g.HeadForwardFLOPs(bt))
 	b.alloc(r.headActivationBytes())
 
 	if r.cfg.Offload == memory.NVMeOptimizerAndParams {
-		b.phase = trace.PhasePrefetch
+		b.Phase = trace.PhasePrefetch
 		b.nvme(r.paramBytes/float64(r.cfg.WorldSize()), false)
 	}
-	b.phase = trace.PhaseBackward
+	b.Phase = trace.PhaseBackward
 	b.compute(trace.Gemm, 2*g.HeadForwardFLOPs(bt))
 	b.free(r.headActivationBytes())
 	b.alloc(r.recomputeWorkingSet())
 	bq := b.newQueue(0, 1)
 	bslots := make([]int16, len(gr))
 	last := len(gr) - 1
-	b.phase = trace.PhasePrefetch
+	b.Phase = trace.PhasePrefetch
 	bslots[last] = b.enqueueSlot(bq, collective.AllGather, groupBytes(last))
 	for i := last; i >= 0; i-- {
 		if i-1 >= 0 {
-			b.phase = trace.PhasePrefetch
+			b.Phase = trace.PhasePrefetch
 			bslots[i-1] = b.enqueueSlot(bq, collective.AllGather, groupBytes(i-1))
 		}
-		b.phase = trace.PhaseBackward
+		b.Phase = trace.PhaseBackward
 		b.waitSlot(bq, bslots[i])
 		b.overhead(r.zero3Overhead() * sim.Time(gr[i]))
 		b.compute(trace.Gemm, r.backwardFactor()*g.LayerForwardFLOPs(bt)*float64(gr[i]))
@@ -419,7 +402,7 @@ func (b *schedBuilder) compileZeRO3() {
 	}
 	b.free(r.recomputeWorkingSet())
 	b.barrier(bq)
-	b.phase = trace.PhaseOptimizer
+	b.Phase = trace.PhaseOptimizer
 	b.optimizer()
 }
 
@@ -456,18 +439,18 @@ func (b *schedBuilder) compileMegatronHybrid() {
 	}
 
 	actResident := float64(g.Layers)*r.layerActivationBytes() + r.headActivationBytes()
-	b.phase = trace.PhaseForward
+	b.Phase = trace.PhaseForward
 	b.alloc(actResident)
 	fwdSlots := micro + pp - 1
 	for s := 0; s < fwdSlots; s++ {
 		slot(false)
 	}
 	b.compute(trace.Gemm, 3*g.HeadForwardFLOPs(bt)/float64(tp))
-	b.phase = trace.PhaseBackward
+	b.Phase = trace.PhaseBackward
 	for s := 0; s < fwdSlots; s++ {
 		slot(true)
 	}
 	b.free(actResident)
-	b.phase = trace.PhaseOptimizer
+	b.Phase = trace.PhaseOptimizer
 	b.gpuAdam(g.Params() / int64(tp*pp))
 }

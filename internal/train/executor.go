@@ -7,421 +7,82 @@ import (
 	"llmbw/internal/compute"
 	"llmbw/internal/data"
 	"llmbw/internal/fabric"
-	"llmbw/internal/nvme"
+	"llmbw/internal/schedule"
 	"llmbw/internal/sim"
 	"llmbw/internal/topology"
 )
 
-// The executor replays a compiled schedule on the sim engine as a callback
-// state machine: it executes ops inline until one blocks, parks the program
-// counter, and resumes from the blocking op's completion event. Every
-// callback is bound once at construction and every per-iteration resource
-// (flow sets, stream issue records, collective handles and plans) is pooled,
-// so steady-state replay allocates nothing — and every engine interaction
-// reproduces the coroutine path's events in the same order, which keeps the
-// two paths byte-identical.
+// The schedule executor itself lives in internal/schedule; this file is
+// train's binding of it. trainEnv resolves everything a compiled program
+// needs from one live Runner — the engine, the fabric, the world
+// communicator, the GPU memory tracker, per-rank trace fan-out, and the
+// concrete flow/NVMe constructors the pooled flow sets are built from — so
+// cached schedules stay pure data shared across runs.
 
 // runCompiled executes one iteration through the compiled schedule, building
 // the schedule and executor on first use.
 func (r *Runner) runCompiled(p *sim.Proc) {
 	if r.exec == nil {
-		r.exec = newExecutor(r, r.iterationSchedule())
+		r.exec = schedule.NewExecutor(trainEnv{r}, r.iterationSchedule())
 		r.waiter = sim.NewWaiter(p)
 	}
-	r.exec.run(r.waiter.DoneFunc())
+	r.exec.Run(r.waiter.DoneFunc())
 	r.waiter.Wait()
 }
 
-// execQueue is the runtime state of one virtual NCCL stream: the schedule's
-// queueSpec plus the live tail handle, reused across iterations.
-type execQueue struct {
-	limit    float64
-	rings    int
-	tail     *collective.Handle
-	tailAuto bool
-}
+// trainEnv implements schedule.Env over a Runner.
+type trainEnv struct{ r *Runner }
 
-// nvmeTarget is one rank's NVMe volume and issuing socket, resolved once.
-type nvmeTarget struct {
-	vol    *nvme.Volume
-	socket int
-}
+func (e trainEnv) Engine() *sim.Engine      { return e.r.cluster.Eng }
+func (e trainEnv) Network() *fabric.Network { return e.r.cluster.Net }
+func (e trainEnv) World() *collective.Group { return e.r.world }
+func (e trainEnv) MemAlloc(bytes float64)   { e.r.mem.alloc(bytes) }
+func (e trainEnv) MemFree(bytes float64)    { e.r.mem.free(bytes) }
 
-// opState holds the pooled runtime resources of one schedule op.
-type opState struct {
-	pool  *flowPool
-	issue *asyncIssue
-	nvme  []nvmeTarget
-}
-
-type executor struct {
-	r     *Runner
-	s     *schedule
-	state []opState
-
-	queues []execQueue
-	slots  []*collective.Handle // retained stream handles by schedule slot
-
-	pc        int
-	cur       *schedOp // the op currently blocking the program
-	t0        sim.Time // start time of the blocking op (for its trace span)
-	nvmeLeft  int
-	multiLeft int
-	finish    func()
-
-	// Callbacks bound once so replay schedules no closures.
-	blockDoneFn  func()
-	waitHopFn    func()
-	waitResumeFn func()
-	nvmeDoneFn   func()
-	multiDoneFn  func()
-}
-
-func newExecutor(r *Runner, s *schedule) *executor {
-	ex := &executor{r: r, s: s}
-	ex.queues = make([]execQueue, len(s.queues))
-	for i, q := range s.queues {
-		ex.queues[i] = execQueue{limit: q.limit, rings: int(q.rings)}
-	}
-	ex.slots = make([]*collective.Handle, s.slots)
-	ex.blockDoneFn = ex.blockDone
-	ex.waitHopFn = ex.waitHop
-	ex.waitResumeFn = ex.waitResume
-	ex.nvmeDoneFn = ex.nvmeDone
-	ex.multiDoneFn = ex.multiDone
-
-	ex.state = make([]opState, len(s.ops))
-	for i := range s.ops {
-		op := &s.ops[i]
-		st := &ex.state[i]
-		switch op.kind {
-		case opStageBatch:
-			st.pool = ex.newFlowPool(false, ex.stageBatchFlows())
-		case opOffloadXfer:
-			st.pool = ex.newFlowPool(true, ex.offloadFlows(op.bytes))
-		case opCPUAdamStep:
-			st.pool = ex.newFlowPool(false, ex.adamFlows(op.params, op.dur))
-		case opBoundaryXfer:
-			st.pool = ex.newFlowPool(true, ex.boundaryFlows(op.routes, op.bytes))
-		case opNVMeIO:
-			st.nvme = ex.nvmeTargets()
-		case opEnqueue:
-			st.issue = newAsyncIssue(ex, op)
-			q := s.queues[op.queue]
-			r.world.Precompile(op.col, op.payload, q.limit, int(q.rings))
-		case opCollective:
-			g := op.group
-			if g == nil {
-				g = r.world
-			}
-			g.Precompile(op.col, op.payload, op.limit, int(op.rings))
-		case opStageAllReduce:
-			for _, g := range op.groups {
-				g.Precompile(collective.AllReduce, op.payload, 0, 2)
-			}
-		}
-	}
-	return ex
-}
-
-// run replays one iteration; done fires (possibly synchronously) when the
-// program completes.
-//
-//lint:steady
-func (ex *executor) run(done func()) {
-	ex.finish = done
-	ex.pc = 0
-	for i := range ex.queues {
-		q := &ex.queues[i]
-		if q.tail != nil {
-			// The previous iteration's stream tail has fired and all its
-			// waiters have run (every stream ends waited or drained); return
-			// it to the pool before the stream restarts. The legacy path
-			// simply leaked these handles into a fresh queue per iteration —
-			// pool bookkeeping only, invisible to the event stream.
-			q.tail.Release()
-			q.tail, q.tailAuto = nil, false
-		}
-	}
-	ex.step()
-}
-
-// step executes ops from pc until one blocks (its completion callback
-// continues the program) or the program ends.
-func (ex *executor) step() {
-	r := ex.r
-	eng := r.cluster.Eng
-	ops := ex.s.ops
-	for ex.pc < len(ops) {
-		i := ex.pc
-		op := &ops[i]
-		switch op.kind {
-		case opMemAlloc:
-			r.mem.alloc(op.bytes)
-		case opMemFree:
-			r.mem.free(op.bytes)
-		case opStageBatch:
-			ex.state[i].pool.start()
-		case opCompute, opOverhead:
-			if op.dur > 0 {
-				ex.cur, ex.t0 = op, eng.Now()
-				eng.Schedule(op.dur, ex.blockDoneFn)
-				return
-			}
-			// A zero-duration span returns inline and is never traced,
-			// exactly as Sleep(0) + the empty-span drop behave.
-		case opCollective:
-			g := op.group
-			if g == nil {
-				g = r.world
-			}
-			ex.cur, ex.t0 = op, eng.Now()
-			g.StartRings(op.col, op.payload, op.limit, int(op.rings), ex.blockDoneFn)
-			return
-		case opEnqueue:
-			ex.push(i)
-		case opWaitSlot:
-			h := ex.slots[op.slot]
-			if !h.Done() {
-				ex.cur = op
-				h.Then(ex.waitHopFn)
-				return
-			}
-			ex.releaseSlot(op)
-		case opBarrier:
-			q := &ex.queues[op.queue]
-			if q.tail != nil && !q.tail.Done() {
-				ex.cur = op
-				q.tail.Then(ex.waitHopFn)
-				return
-			}
-		case opOffloadXfer, opBoundaryXfer:
-			ex.cur, ex.t0 = op, eng.Now()
-			ex.state[i].pool.start()
-			return
-		case opCPUAdamStep:
-			ex.state[i].pool.start() // paced DRAM flows, fire-and-forget
-			ex.cur, ex.t0 = op, eng.Now()
-			eng.Schedule(op.dur, ex.blockDoneFn)
-			return
-		case opNVMeIO:
-			ex.cur, ex.t0 = op, eng.Now()
-			st := &ex.state[i]
-			ex.nvmeLeft = len(st.nvme)
-			for j := range st.nvme {
-				t := &st.nvme[j]
-				t.vol.IO(t.socket, op.bytes, op.write, ex.nvmeDoneFn)
-			}
-			return
-		case opStageAllReduce:
-			ex.cur, ex.t0 = op, eng.Now()
-			ex.multiLeft = len(op.groups)
-			for _, g := range op.groups {
-				g.StartRings(collective.AllReduce, op.payload, 0, 2, ex.multiDoneFn)
-			}
-			return
-		default:
-			panic(fmt.Sprintf("train: unknown schedule op %d", int(op.kind)))
-		}
-		ex.pc++
-	}
-	ex.finish()
-}
-
-// blockDone completes a simple blocking op: trace it if tagged, advance.
-//
-//lint:steady
-func (ex *executor) blockDone() {
-	op := ex.cur
-	if op.traced {
-		ex.traceOp(op, ex.t0, ex.r.cluster.Eng.Now())
-	}
-	ex.pc++
-	ex.step()
-}
-
-// waitHop runs as a handle waiter and re-schedules the actual resume at +0 —
-// the exact hop Handle.Wait takes, which keeps event ordering identical.
-//
-//lint:steady
-func (ex *executor) waitHop() {
-	ex.r.cluster.Eng.Schedule(0, ex.waitResumeFn)
-}
-
-//lint:steady
-func (ex *executor) waitResume() {
-	if ex.cur.kind == opWaitSlot {
-		ex.releaseSlot(ex.cur)
-	}
-	ex.pc++
-	ex.step()
-}
-
-// releaseSlot returns a retained handle to the pool unless it is still the
-// stream tail (commQueue.release semantics: a live tail recycles when
-// superseded or at the next iteration's stream reset).
-func (ex *executor) releaseSlot(op *schedOp) {
-	h := ex.slots[op.slot]
-	ex.slots[op.slot] = nil
-	if h != ex.queues[op.queue].tail {
-		h.Release()
-	}
-}
-
-//lint:steady
-func (ex *executor) nvmeDone() {
-	ex.nvmeLeft--
-	if ex.nvmeLeft > 0 {
-		return
-	}
-	ex.traceOp(ex.cur, ex.t0, ex.r.cluster.Eng.Now())
-	ex.pc++
-	ex.step()
-}
-
-//lint:steady
-func (ex *executor) multiDone() {
-	ex.multiLeft--
-	if ex.multiLeft > 0 {
-		return
-	}
-	ex.traceOp(ex.cur, ex.t0, ex.r.cluster.Eng.Now())
-	ex.pc++
-	ex.step()
-}
-
-func (ex *executor) traceOp(op *schedOp, start, end sim.Time) {
-	tr := ex.r.tr
+// TraceOp fans a completed op's span out to every rank's timeline.
+func (e trainEnv) TraceOp(op *schedule.Op, start, end sim.Time) {
+	tr := e.r.tr
 	if !tr.Enabled() {
 		return
 	}
-	for rank := 0; rank < ex.r.cfg.WorldSize(); rank++ {
-		tr.AddPhased(rank, op.tk, op.phase, start, end)
+	for rank := 0; rank < e.r.cfg.WorldSize(); rank++ {
+		tr.AddPhased(rank, op.TK, op.Phase, start, end)
 	}
 }
 
-// push replays commQueue.push for the op at index i: chain the collective
-// after the stream's current tail, releasing a superseded fire-and-forget
-// predecessor once it has ordered this start.
-func (ex *executor) push(i int) {
-	op := &ex.s.ops[i]
-	is := ex.state[i].issue
-	q := &ex.queues[op.queue]
-	is.h = ex.r.world.NewHandle()
-	is.prev, is.prevAuto = q.tail, q.tailAuto
-	if is.prev == nil {
-		is.start()
-	} else {
-		is.prev.Then(is.startFn)
+// FlowBuilder maps each flow-set op to the legacy strategy's flow
+// constructor; the builder runs only on a pool miss.
+func (e trainEnv) FlowBuilder(op *schedule.Op) func() []*fabric.Flow {
+	switch op.Kind {
+	case schedule.OpFlows:
+		return e.r.stageBatchFlowsFn()
+	case schedule.OpXfer:
+		return e.r.offloadFlowsFn(op.Bytes)
+	case schedule.OpPacedFlows:
+		return e.r.adamFlowsFn(op.Params, op.Dur)
+	case schedule.OpRouteXfer:
+		return boundaryFlowsFn(op.Routes, op.Bytes)
 	}
-	q.tail, q.tailAuto = is.h, op.slot < 0
-	if op.slot >= 0 {
-		ex.slots[op.slot] = is.h
-	}
+	panic(fmt.Sprintf("train: no flow builder for schedule op %d", int(op.Kind)))
 }
 
-// asyncIssue is the per-op reusable state of one stream collective: the
-// pooled handle, the predecessor edge, and the start/fire closures bound
-// once. One record per opEnqueue suffices — an op issues at most once per
-// iteration and every stream drains before the iteration ends.
-type asyncIssue struct {
-	ex       *executor
-	op       *schedOp
-	h        *collective.Handle
-	prev     *collective.Handle
-	prevAuto bool
-	t0       sim.Time
-	startFn  func()
-	fireFn   func()
-}
-
-func newAsyncIssue(ex *executor, op *schedOp) *asyncIssue {
-	is := &asyncIssue{ex: ex, op: op}
-	is.startFn = is.start
-	is.fireFn = is.fire
-	return is
-}
-
-//lint:steady
-func (is *asyncIssue) start() {
-	ex := is.ex
-	q := &ex.queues[is.op.queue]
-	is.t0 = ex.r.cluster.Eng.Now()
-	ex.r.world.StartRings(is.op.col, is.op.payload, q.limit, q.rings, is.fireFn)
-	// prev has now served its last purpose (ordering this start); a
-	// fire-and-forget predecessor goes back to the pool.
-	if is.prevAuto {
-		is.prev.Release()
-	}
-	is.prev = nil
-}
-
-//lint:steady
-func (is *asyncIssue) fire() {
-	ex := is.ex
-	ex.traceOp(is.op, is.t0, ex.r.cluster.Eng.Now())
-	h := is.h
-	is.h = nil
-	h.Fire()
-}
-
-// ---- pooled flow sets ----
-
-// flowPool recycles the flow records of one schedule op. StartFlows resets a
-// drained flow's byte counter and bookkeeping on admission, so a set whose
-// flows have all completed is reusable as-is; sets are returned to the free
-// list by their own completion callback. A blocking pool additionally resumes
-// the program when the set drains.
-type flowPool struct {
-	ex       *executor
-	blocking bool
-	build    func() []*fabric.Flow
-	free     []*flowSet
-}
-
-type flowSet struct {
-	pool  *flowPool
-	flows []*fabric.Flow
-	left  int
-	cb    func()
-}
-
-func (ex *executor) newFlowPool(blocking bool, build func() []*fabric.Flow) *flowPool {
-	return &flowPool{ex: ex, blocking: blocking, build: build}
-}
-
-func (fp *flowPool) start() {
-	var s *flowSet
-	if k := len(fp.free); k > 0 {
-		s = fp.free[k-1]
-		fp.free[k-1] = nil
-		fp.free = fp.free[:k-1]
-	} else {
-		s = &flowSet{pool: fp, flows: fp.build()} //lint:allow steady-alloc — pool miss: first iteration builds the set, replays reuse it
-		s.cb = s.flowDone
-	}
-	s.left = len(s.flows)
-	fp.ex.r.cluster.Net.StartFlows(s.flows, s.cb)
-}
-
-//lint:steady
-func (s *flowSet) flowDone() {
-	s.left--
-	if s.left > 0 {
-		return
-	}
-	fp := s.pool
-	fp.free = append(fp.free, s) //lint:allow steady-alloc — free-list push: capacity reaches steady state after the first iteration
-	if fp.blocking {
-		fp.ex.blockDone()
-	}
+// NVMeTargets resolves each rank's volume and socket in rank order.
+func (e trainEnv) NVMeTargets() []schedule.NVMeTarget {
+	r := e.r
+	out := make([]schedule.NVMeTarget, 0, r.cfg.WorldSize())
+	r.eachGPU(func(rank int, g topology.GPU) {
+		out = append(out, schedule.NVMeTarget{
+			Vol:    r.cfg.Placement.VolumeForRank(r.vols, rank),
+			Socket: g.Socket(),
+		})
+	})
+	return out
 }
 
 // ---- flow builders (run only on a pool miss) ----
 
-// stageBatchFlows mirrors stageBatch's dataloader staging set.
-func (ex *executor) stageBatchFlows() func() []*fabric.Flow {
-	r := ex.r
+// stageBatchFlowsFn mirrors stageBatch's dataloader staging set.
+func (r *Runner) stageBatchFlowsFn() func() []*fabric.Flow {
 	bytes := data.BatchStagingBytes(r.cfg.BatchPerGPU, r.cfg.Model.SeqLen)
 	return func() []*fabric.Flow {
 		var flows []*fabric.Flow
@@ -433,9 +94,8 @@ func (ex *executor) stageBatchFlows() func() []*fabric.Flow {
 	}
 }
 
-// offloadFlows mirrors offloadCopy's per-rank staging pair.
-func (ex *executor) offloadFlows(bytesPerRank float64) func() []*fabric.Flow {
-	r := ex.r
+// offloadFlowsFn mirrors offloadCopy's per-rank staging pair.
+func (r *Runner) offloadFlowsFn(bytesPerRank float64) func() []*fabric.Flow {
 	mk := r.offloadCopyFlows(bytesPerRank)
 	return func() []*fabric.Flow {
 		var flows []*fabric.Flow
@@ -446,9 +106,8 @@ func (ex *executor) offloadFlows(bytesPerRank float64) func() []*fabric.Flow {
 	}
 }
 
-// adamFlows mirrors hostAdam's paced per-socket DRAM/xGMI traffic.
-func (ex *executor) adamFlows(paramsPerRank int64, d sim.Time) func() []*fabric.Flow {
-	r := ex.r
+// adamFlowsFn mirrors hostAdam's paced per-socket DRAM/xGMI traffic.
+func (r *Runner) adamFlowsFn(paramsPerRank int64, d sim.Time) func() []*fabric.Flow {
 	sec := d.ToSeconds()
 	perSocket := 2 * compute.AdamDRAMTraffic(paramsPerRank) // two ranks per socket
 	return func() []*fabric.Flow {
@@ -476,8 +135,8 @@ func (ex *executor) adamFlows(paramsPerRank int64, d sim.Time) func() []*fabric.
 	}
 }
 
-// boundaryFlows mirrors sendBoundaries' inter-stage activation transfers.
-func (ex *executor) boundaryFlows(routes []topology.Route, bytes float64) func() []*fabric.Flow {
+// boundaryFlowsFn mirrors sendBoundaries' inter-stage activation transfers.
+func boundaryFlowsFn(routes []topology.Route, bytes float64) func() []*fabric.Flow {
 	return func() []*fabric.Flow {
 		var flows []*fabric.Flow
 		for i, rt := range routes {
@@ -485,17 +144,4 @@ func (ex *executor) boundaryFlows(routes []topology.Route, bytes float64) func()
 		}
 		return flows
 	}
-}
-
-// nvmeTargets resolves each rank's volume and socket in rank order.
-func (ex *executor) nvmeTargets() []nvmeTarget {
-	r := ex.r
-	out := make([]nvmeTarget, 0, r.cfg.WorldSize())
-	r.eachGPU(func(rank int, g topology.GPU) {
-		out = append(out, nvmeTarget{
-			vol:    r.cfg.Placement.VolumeForRank(r.vols, rank),
-			socket: g.Socket(),
-		})
-	})
-	return out
 }

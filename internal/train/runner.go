@@ -9,6 +9,7 @@ import (
 	"llmbw/internal/fabric"
 	"llmbw/internal/memory"
 	"llmbw/internal/nvme"
+	"llmbw/internal/schedule"
 	"llmbw/internal/sim"
 	"llmbw/internal/telemetry"
 	"llmbw/internal/topology"
@@ -110,7 +111,7 @@ type Runner struct {
 
 	// exec/waiter are the compiled-schedule replay state, built lazily on the
 	// first iteration of the CompiledSchedules path and reused thereafter.
-	exec   *executor
+	exec   *schedule.Executor
 	waiter *sim.Waiter
 }
 

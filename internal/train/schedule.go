@@ -1,172 +1,30 @@
 package train
 
-import (
-	"fmt"
-
-	"llmbw/internal/collective"
-	"llmbw/internal/sim"
-	"llmbw/internal/topology"
-	"llmbw/internal/trace"
-)
+import "llmbw/internal/schedule"
 
 // CompiledSchedules selects the iteration execution path: true (the default)
-// compiles each strategy's per-iteration program into a schedule — a typed op
-// list with explicit stream dependencies and phase tags — once, and replays
-// it every iteration through a single executor with pooled flows, handles and
-// collective plans, so steady-state iterations allocate nothing; false runs
-// the original imperative coroutines. The two paths are byte-identical in
-// simulation outcome (pinned by the determinism matrix in
-// schedule_test.go/determinism_test.go); the knob exists so those tests can
-// compare them. It must not be toggled while a simulation is running.
+// compiles each strategy's per-iteration program into a schedule.Schedule —
+// a typed op list with explicit stream dependencies and phase tags — once,
+// and replays it every iteration through the shared internal/schedule
+// executor with pooled flows, handles and collective plans, so steady-state
+// iterations allocate nothing; false runs the original imperative
+// coroutines. The two paths are byte-identical in simulation outcome (pinned
+// by the determinism matrix in schedule_test.go/determinism_test.go); the
+// knob exists so those tests can compare them. It must not be toggled while
+// a simulation is running.
 var CompiledSchedules = true
 
-// Rewrite selects a schedule-level ablation applied after compilation. A
-// rewrite transforms the op list before execution — the schedule IR's whole
-// point: what-if studies become program transformations instead of forked
-// strategy implementations. Rewrites force the compiled-schedule path (the
-// imperative coroutines cannot honour them).
-type Rewrite int
+// The schedule IR itself — the op vocabulary, rewrites and the executor —
+// lives in internal/schedule since PR 10; train's per-strategy compilers
+// (compile.go) are one client of it. The rewrite vocabulary is re-exported
+// here so Config.Rewrite call sites keep reading train.RewriteSerializeComm.
+
+// Rewrite selects a schedule-level ablation applied after compilation; see
+// schedule.Rewrite.
+type Rewrite = schedule.Rewrite
 
 // Supported rewrites.
 const (
-	RewriteNone Rewrite = iota
-	// RewriteSerializeComm converts every stream-overlapped collective into
-	// an exposed synchronous one at the same program point and drops the now
-	// meaningless stream waits/barriers: the iteration with communication/
-	// computation overlap ablated away. The overlap gain of DDP's gradient
-	// bucketing and ZeRO's prefetch pipelines is the difference between a
-	// schedule and its serialized rewrite.
-	RewriteSerializeComm
+	RewriteNone          = schedule.RewriteNone
+	RewriteSerializeComm = schedule.RewriteSerializeComm
 )
-
-// String returns the rewrite's display name.
-func (rw Rewrite) String() string {
-	switch rw {
-	case RewriteNone:
-		return "none"
-	case RewriteSerializeComm:
-		return "serialize-comm"
-	}
-	return fmt.Sprintf("Rewrite(%d)", int(rw))
-}
-
-// opKind discriminates schedule ops.
-type opKind uint8
-
-// Schedule op kinds. Each op mirrors one imperative building block of the
-// legacy strategies exactly — same engine events, same order — which is what
-// makes the replay byte-identical.
-const (
-	// opStageBatch launches the dataloader's host→GPU staging flows for
-	// every rank, fire-and-forget.
-	opStageBatch opKind = iota
-	// opCompute blocks for a precomputed GPU kernel duration and traces it.
-	opCompute
-	// opOverhead blocks for a fixed untraced duration (framework
-	// coordination costs: ZeRO-3 gather hooks, ZeRO-1 chunk relaunches).
-	opOverhead
-	// opCollective runs an exposed synchronous collective on op.group (nil =
-	// the world group).
-	opCollective
-	// opEnqueue chains an asynchronous collective on a virtual NCCL stream
-	// (op.queue); slot >= 0 retains the handle for a later opWaitSlot.
-	opEnqueue
-	// opWaitSlot blocks until the retained handle in op.slot fires, then
-	// returns it to the pool (unless it is still the stream tail).
-	opWaitSlot
-	// opBarrier blocks until the stream's tail operation completes.
-	opBarrier
-	// opOffloadXfer runs the blocking GPU↔host staging copy on every rank.
-	opOffloadXfer
-	// opCPUAdamStep starts the paced CPUAdam DRAM flows and blocks for the
-	// host optimizer duration (GPUs idle).
-	opCPUAdamStep
-	// opNVMeIO runs a staged NVMe transfer on every rank, blocking until the
-	// slowest completes.
-	opNVMeIO
-	// opMemAlloc / opMemFree adjust the runtime GPU memory tracker.
-	opMemAlloc
-	opMemFree
-	// opStageAllReduce runs one all-reduce concurrently on several disjoint
-	// groups (hybrid parallelism's per-stage TP collectives).
-	opStageAllReduce
-	// opBoundaryXfer sends the pipeline boundary activations and blocks.
-	opBoundaryXfer
-)
-
-// schedOp is one operation of a compiled iteration schedule. Dependencies are
-// program order plus the explicit stream edges: an opEnqueue's collective is
-// ordered after the previous operation on its queue, and opWaitSlot/opBarrier
-// join a stream back into program order.
-type schedOp struct {
-	kind   opKind
-	phase  trace.Phase
-	tk     trace.Kind // trace kind for traced ops
-	traced bool
-
-	col     collective.Op
-	group   *collective.Group   // opCollective target; nil = world
-	groups  []*collective.Group // opStageAllReduce targets
-	routes  []topology.Route    // opBoundaryXfer activation routes
-	payload float64             // collective payload bytes
-	limit   float64             // per-hop rate cap (exposed collectives)
-	rings   int8                // NCCL ring count (exposed collectives)
-	queue   int8                // stream index for opEnqueue/opWaitSlot/opBarrier
-	slot    int16               // retained-handle slot; -1 = fire-and-forget
-	write   bool                // opNVMeIO direction
-	dur     sim.Time            // opCompute/opOverhead/opCPUAdamStep duration
-	bytes   float64             // opMemAlloc/opMemFree/opOffloadXfer/opNVMeIO/opBoundaryXfer bytes
-	params  int64               // opCPUAdamStep per-rank parameter count
-}
-
-// queueSpec describes one virtual NCCL stream of the schedule.
-type queueSpec struct {
-	limit float64
-	rings int8
-}
-
-// schedule is a compiled per-iteration program.
-type schedule struct {
-	ops    []schedOp
-	queues []queueSpec
-	slots  int // retained-handle slot count
-}
-
-// apply returns the schedule transformed by the rewrite (the receiver is
-// never mutated; RewriteNone returns it unchanged).
-func (s *schedule) apply(rw Rewrite) *schedule {
-	switch rw {
-	case RewriteNone:
-		return s
-	case RewriteSerializeComm:
-		return s.serializeComm()
-	}
-	panic(fmt.Sprintf("train: unknown rewrite %d", int(rw)))
-}
-
-// serializeComm rewrites every stream-overlapped collective into an exposed
-// synchronous one issued at its enqueue point, dropping stream waits and
-// barriers (their ordering is now implied by program order). The streams'
-// rate limits and ring counts carry over unchanged.
-func (s *schedule) serializeComm() *schedule {
-	out := &schedule{queues: s.queues}
-	out.ops = make([]schedOp, 0, len(s.ops))
-	for _, op := range s.ops {
-		switch op.kind {
-		case opEnqueue:
-			q := s.queues[op.queue]
-			op.kind = opCollective
-			op.group = nil
-			op.limit = q.limit
-			op.rings = q.rings
-			op.slot = -1
-			out.ops = append(out.ops, op)
-		case opWaitSlot, opBarrier:
-			// Dropped: program order already sequences the serialized
-			// collectives.
-		default:
-			out.ops = append(out.ops, op)
-		}
-	}
-	return out
-}

@@ -7,6 +7,7 @@ import (
 
 	"llmbw/internal/memory"
 	"llmbw/internal/model"
+	"llmbw/internal/schedule"
 	"llmbw/internal/sim"
 )
 
@@ -168,25 +169,25 @@ func TestSerializeCommRewrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	count := func(s *schedule, k opKind) int {
+	count := func(s *schedule.Schedule, k schedule.Kind) int {
 		n := 0
-		for i := range s.ops {
-			if s.ops[i].kind == k {
+		for i := range s.Ops {
+			if s.Ops[i].Kind == k {
 				n++
 			}
 		}
 		return n
 	}
 	orig := r.compileIteration()
-	enq := count(orig, opEnqueue)
+	enq := count(orig, schedule.OpEnqueue)
 	if enq == 0 {
 		t.Fatal("ZeRO-3 schedule compiled without stream collectives")
 	}
-	rw := orig.serializeComm()
-	if got := count(rw, opEnqueue) + count(rw, opWaitSlot) + count(rw, opBarrier); got != 0 {
+	rw := orig.Apply(RewriteSerializeComm)
+	if got := count(rw, schedule.OpEnqueue) + count(rw, schedule.OpWaitSlot) + count(rw, schedule.OpBarrier); got != 0 {
 		t.Errorf("serialized schedule retains %d stream ops", got)
 	}
-	if got, want := count(rw, opCollective), count(orig, opCollective)+enq; got != want {
+	if got, want := count(rw, schedule.OpCollective), count(orig, schedule.OpCollective)+enq; got != want {
 		t.Errorf("serialized schedule has %d exposed collectives, want %d", got, want)
 	}
 

@@ -1,0 +1,54 @@
+package whatif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServingBandwidthSensitivity pins the study's headline claim: starving
+// the inter-node fabric must cost disaggregated serving goodput (or at least
+// first-token latency) on every swept fabric.
+func TestServingBandwidthSensitivity(t *testing.T) {
+	pts, err := ServingBandwidthSweep([]float64{0.05, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string][]ServePoint{}
+	for _, p := range pts {
+		byLabel[p.Label] = append(byLabel[p.Label], p)
+	}
+	if len(byLabel) != 3 {
+		t.Fatalf("sweep covered %d fabrics, want 3", len(byLabel))
+	}
+	for label, ps := range byLabel {
+		starved, nominal := ps[0], ps[1]
+		if starved.TTFTp99Ms <= nominal.TTFTp99Ms {
+			t.Errorf("%s: TTFT p99 did not grow at 5%% bandwidth: %.2fms vs %.2fms",
+				label, starved.TTFTp99Ms, nominal.TTFTp99Ms)
+		}
+		if starved.Goodput >= nominal.Goodput {
+			t.Errorf("%s: goodput did not drop at 5%% bandwidth: %.1f vs %.1f",
+				label, starved.Goodput, nominal.Goodput)
+		}
+	}
+}
+
+// TestServingReportDeterministic: the ext-serve report must render
+// byte-identically run to run (it feeds the golden harness in core).
+func TestServingReportDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if err := ServingReport(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := render()
+	if a == "" || !strings.Contains(a, "finding:") {
+		t.Fatalf("malformed report:\n%s", a)
+	}
+	if b := render(); a != b {
+		t.Errorf("report differs between runs:\n%s\nvs\n%s", a, b)
+	}
+}
